@@ -1,0 +1,11 @@
+package hosminer_test
+
+import (
+	"math/rand"
+
+	"repro/internal/lattice"
+)
+
+func experimentsRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func latticeFresh(d int) (*lattice.Tracker, error) { return lattice.NewTracker(d) }

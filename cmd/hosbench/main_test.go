@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(out.String())
+	if len(lines) != len(experiments.IDs()) {
+		t.Fatalf("listed %d ids, want %d", len(lines), len(experiments.IDs()))
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "T1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "T1") || !strings.Contains(out.String(), "DSF") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "[T1] done") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+}
+
+func TestRunWritesCSVAndMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	mdPath := filepath.Join(dir, "report.md")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-exp", "T1,F5", "-csv", csvDir, "-md", mdPath}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"T1.csv", "F5.csv"} {
+		if _, err := os.Stat(filepath.Join(csvDir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### T1") || !strings.Contains(string(md), "### F5") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "bogus"}, &out, &errBuf); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "ZZ"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-notaflag"}, &out, &errBuf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

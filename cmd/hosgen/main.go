@@ -1,0 +1,105 @@
+// Command hosgen generates the reproduction's datasets as CSV:
+// synthetic clustered data with planted subspace outliers, uniform
+// noise, or the pseudo-real scenarios (athlete / medical / nba).
+//
+// Usage:
+//
+//	hosgen -type synthetic -n 2000 -d 10 -outliers 5 -seed 1 \
+//	       -out data.csv -truth truth.csv
+//
+// The truth file maps each planted outlier's row index to its true
+// outlying subspace, e.g. "0,[2,7]".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+	"repro/internal/vector"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hosgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: parses args, writes dataset CSV to
+// stdout (or -out) and optional ground truth to -truth.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hosgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		typ       = fs.String("type", "synthetic", "dataset type: synthetic|uniform|athlete|medical|nba")
+		n         = fs.Int("n", 1000, "number of points")
+		d         = fs.Int("d", 8, "dimensionality (synthetic/uniform only)")
+		outliers  = fs.Int("outliers", 5, "planted outliers / deviants")
+		subDim    = fs.Int("subdim", 2, "cardinality of planted outlying subspaces (synthetic)")
+		clusters  = fs.Int("clusters", 3, "number of clusters (synthetic)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		out       = fs.String("out", "", "output CSV path (default stdout)")
+		truthPath = fs.String("truth", "", "optional ground-truth CSV path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, truth, err := generate(*typ, *n, *d, *outliers, *subDim, *clusters, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *out == "" {
+		if err := dataio.WriteCSV(stdout, ds, true); err != nil {
+			return err
+		}
+	} else if err := dataio.SaveFile(*out, ds); err != nil {
+		return err
+	}
+
+	if *truthPath != "" {
+		f, err := os.Create(*truthPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "index,subspace")
+		for _, o := range truth.Outliers {
+			fmt.Fprintf(f, "%d,%q\n", o.Index, o.Subspace.String())
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "wrote %d points x %d dims to %s (%d planted)\n",
+			ds.N(), ds.Dim(), *out, len(truth.Outliers))
+	}
+	return nil
+}
+
+func generate(typ string, n, d, outliers, subDim, clusters int, seed int64) (*vector.Dataset, datagen.GroundTruth, error) {
+	switch typ {
+	case "synthetic":
+		return datagen.GenerateSynthetic(datagen.SyntheticConfig{
+			N: n, D: d, NumOutliers: outliers, OutlierSubspaceDim: subDim,
+			Clusters: clusters, Seed: seed,
+		})
+	case "uniform":
+		ds, err := datagen.GenerateUniform(n, d, seed)
+		return ds, datagen.GroundTruth{}, err
+	case "athlete":
+		return datagen.Athlete(n, outliers, seed)
+	case "medical":
+		return datagen.Medical(n, outliers, seed)
+	case "nba":
+		return datagen.NBA(n, outliers, seed)
+	default:
+		return nil, datagen.GroundTruth{}, fmt.Errorf("unknown dataset type %q", typ)
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+)
+
+// writeFixture generates a small planted dataset CSV and returns its
+// path.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{
+		N: 120, D: 4, NumOutliers: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := dataio.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueryByIndex(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-index", "0", "-all"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"minimal outlying subspaces", "search cost", "full outlying set"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunQueryByPoint(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-data", path, "-k", "4", "-t", "5", "-point", "99,0,0,0"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[0]") {
+		t.Fatalf("expected dim-0 outlier:\n%s", out.String())
+	}
+}
+
+func TestRunInlierPoint(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	// Query an inlier row with a very high absolute threshold.
+	err := run([]string{"-data", path, "-k", "4", "-t", "1e12", "-index", "50"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "not an outlier in any subspace") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunScan(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-data", path, "-k", "4", "-tq", "0.97", "-scan", "-top", "3"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top") || !strings.Contains(out.String(), "OD=") {
+		t.Fatalf("scan output:\n%s", out.String())
+	}
+}
+
+func TestRunNormalizeAndBackends(t *testing.T) {
+	path := writeFixture(t)
+	for _, backend := range []string{"linear", "xtree", "auto"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{"-data", path, "-k", "4", "-tq", "0.95",
+			"-index", "0", "-normalize", "-backend", backend}, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+	}
+	for _, policy := range []string{"bottomup", "topdown", "random"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{"-data", path, "-k", "4", "-tq", "0.95",
+			"-index", "0", "-policy", policy}, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	cases := [][]string{
+		{},                            // no -data
+		{"-data", "/nonexistent.csv"}, // missing file
+		{"-data", path},               // no query
+		{"-data", path, "-index", "0", "-point", "1,2,3,4"}, // both
+		{"-data", path, "-index", "0"},                      // no threshold
+		{"-data", path, "-t", "1", "-point", "1,2"},         // wrong dim
+		{"-data", path, "-t", "1", "-point", "a,b,c,d"},     // non-numeric
+		{"-data", path, "-t", "1", "-backend", "bogus", "-index", "0"},
+		{"-data", path, "-t", "1", "-policy", "bogus", "-index", "0"},
+	}
+	for i, args := range cases {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestRunStateSaveAndLoad(t *testing.T) {
+	path := writeFixture(t)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	var out1, errBuf bytes.Buffer
+	err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-samples", "8",
+		"-index", "0", "-save-state", statePath}, &out1, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "saved state") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+	// Re-run loading the state (no threshold flags needed).
+	var out2, errBuf2 bytes.Buffer
+	err = run([]string{"-data", path, "-k", "4", "-index", "0",
+		"-load-state", statePath}, &out2, &errBuf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical answers: both outputs list the same minimal subspaces.
+	pick := func(s string) string {
+		idx := strings.Index(s, "minimal outlying")
+		if idx < 0 {
+			t.Fatalf("no results in output:\n%s", s)
+		}
+		return s[idx:]
+	}
+	if pick(out1.String()) != pick(out2.String()) {
+		t.Fatalf("state round trip changed answers:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	// Loading a state with a mismatched K must fail.
+	var out3, errBuf3 bytes.Buffer
+	if err := run([]string{"-data", path, "-k", "3", "-index", "0",
+		"-load-state", statePath}, &out3, &errBuf3); err == nil {
+		t.Fatal("mismatched K accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package hosminer_test
+
+import (
+	"fmt"
+
+	hosminer "repro"
+)
+
+// ExampleNew demonstrates the core loop: build a miner, query a
+// planted outlier, read its minimal outlying subspaces.
+func ExampleNew() {
+	ds, truth, _ := hosminer.GenerateSynthetic(hosminer.SyntheticConfig{
+		N: 500, D: 6, NumOutliers: 1, OutlierSubspaceDim: 2, Seed: 3,
+	})
+	m, _ := hosminer.New(ds, hosminer.Config{K: 5, TQuantile: 0.95, Seed: 3})
+	res, _ := m.OutlyingSubspacesOfPoint(truth.Outliers[0].Index)
+
+	fmt.Println("planted:", truth.Outliers[0].Subspace)
+	fmt.Println("outlier anywhere:", res.IsOutlierAnywhere)
+	for _, s := range res.Minimal {
+		fmt.Println("minimal:", s)
+	}
+	// Output:
+	// planted: [1,4]
+	// outlier anywhere: true
+	// minimal: [1]
+	// minimal: [4]
+}
+
+// ExampleMinimalSubspaces reproduces the paper's §3.4 worked example
+// (shifted to 0-based dimensions): only the lowest-dimensional
+// outlying subspaces survive the refinement filter.
+func ExampleMinimalSubspaces() {
+	outlying := []hosminer.Subspace{
+		hosminer.NewSubspace(0, 2),
+		hosminer.NewSubspace(1, 3),
+		hosminer.NewSubspace(0, 1, 2),
+		hosminer.NewSubspace(0, 1, 3),
+		hosminer.NewSubspace(0, 2, 3),
+		hosminer.NewSubspace(1, 2, 3),
+		hosminer.NewSubspace(0, 1, 2, 3),
+	}
+	for _, s := range hosminer.MinimalSubspaces(outlying) {
+		fmt.Println(s)
+	}
+	// Output:
+	// [0,2]
+	// [1,3]
+}
+
+// ExampleScore shows effectiveness scoring of predictions against a
+// planted ground truth under subset matching.
+func ExampleScore() {
+	predicted := []hosminer.Subspace{hosminer.NewSubspace(1)}
+	truth := []hosminer.Subspace{hosminer.NewSubspace(1, 3)}
+	prf := hosminer.Score(predicted, truth, hosminer.MatchSubset)
+	fmt.Printf("precision=%.1f recall=%.1f\n", prf.Precision, prf.Recall)
+	// Output:
+	// precision=1.0 recall=1.0
+}
+
+// ExampleParseSubspace round-trips the paper-style rendering.
+func ExampleParseSubspace() {
+	s, _ := hosminer.ParseSubspace("[1,3]")
+	fmt.Println(s.Card(), s.Contains(3), s)
+	// Output:
+	// 2 true [1,3]
+}

@@ -1,0 +1,108 @@
+// Method comparison — the paper's demo part 3: "the experimental
+// evaluation of HOS-Miner and the comparative study of HOS-Miner and
+// the latest high-dimensional outlier detection technique, i.e. the
+// evolutionary-based searching method, in terms of efficiency and
+// effectiveness".
+//
+// This example runs both systems on an NBA-style season-statistics
+// table with planted anomalous players and prints a side-by-side
+// account of what each method reports and what it costs.
+//
+// Run: go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hosminer "repro"
+	"repro/internal/evolutionary"
+)
+
+func main() {
+	ds, truth, err := hosminer.GenerateNBA(500, 4, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, _ := ds.MinMaxNormalize()
+
+	fmt.Printf("league: %d players, %d stats\n\n", ds.N(), ds.Dim())
+
+	// --- HOS-Miner: exact outlying-subspace search -----------------
+	m, err := hosminer.New(norm, hosminer.Config{
+		K: 5, TQuantile: 0.97, SampleSize: 12, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := m.Preprocess(); err != nil {
+		log.Fatal(err)
+	}
+	var hosPRF []hosminer.PRF
+	var hosEvals int64
+	for _, o := range truth.Outliers {
+		res, err := m.OutlyingSubspacesOfPoint(o.Index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hosEvals += res.Counters.Evaluations
+		hosPRF = append(hosPRF, hosminer.Score(res.Minimal,
+			[]hosminer.Subspace{o.Subspace}, hosminer.MatchSubset))
+	}
+	hosTime := time.Since(start)
+
+	// --- Evolutionary method (Aggarwal & Yu): sparse grid cells ----
+	grid, err := evolutionary.NewGrid(norm, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	perPoint := make(map[int][]hosminer.Subspace)
+	var cellEvals int64
+	for targetDim := 1; targetDim <= 3; targetDim++ {
+		s, err := evolutionary.NewSearcher(grid, evolutionary.Config{
+			Phi: 8, TargetDim: targetDim, Population: 40, Generations: 60,
+			Seed: 31 + int64(targetDim),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := s.Search()
+		cellEvals += res.Evaluations
+		for _, o := range truth.Outliers {
+			perPoint[o.Index] = append(perPoint[o.Index],
+				res.OutlyingSubspacesOf(grid, o.Index)...)
+		}
+	}
+	var evoPRF []hosminer.PRF
+	for _, o := range truth.Outliers {
+		evoPRF = append(evoPRF, hosminer.Score(perPoint[o.Index],
+			[]hosminer.Subspace{o.Subspace}, hosminer.MatchOverlap))
+	}
+	evoTime := time.Since(start)
+
+	// --- side-by-side ----------------------------------------------
+	fmt.Println("                       HOS-Miner          evolutionary")
+	fmt.Printf("answer semantics       exact subspaces    sparse grid cells\n")
+	fmt.Printf("work unit              %6d OD evals    %6d cell evals\n", hosEvals, cellEvals)
+	fmt.Printf("wall time              %-15v    %-15v\n", hosTime.Round(time.Millisecond), evoTime.Round(time.Millisecond))
+	fmt.Printf("mean recall            %-6.2f (subset)    %-6.2f (overlap)\n",
+		meanRecall(hosPRF), meanRecall(evoPRF))
+	fmt.Println()
+	fmt.Println("HOS-Miner answers the per-point question directly and exactly;")
+	fmt.Println("the evolutionary method finds globally sparse regions and only")
+	fmt.Println("indirectly attributes subspaces to individual points.")
+}
+
+func meanRecall(prfs []hosminer.PRF) float64 {
+	if len(prfs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range prfs {
+		sum += p.Recall
+	}
+	return sum / float64(len(prfs))
+}

@@ -1,0 +1,131 @@
+package hosminer_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	hosminer "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way a
+// downstream user would.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, truth, err := hosminer.GenerateSynthetic(hosminer.SyntheticConfig{
+		N: 400, D: 6, NumOutliers: 3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hosminer.New(ds, hosminer.Config{
+		K: 5, TQuantile: 0.95, SampleSize: 12, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+
+	var prfs []hosminer.PRF
+	for _, o := range truth.Outliers {
+		res, err := m.OutlyingSubspacesOfPoint(o.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.IsOutlierAnywhere {
+			t.Fatalf("planted outlier %d undetected", o.Index)
+		}
+		prfs = append(prfs, hosminer.Score(res.Minimal, []hosminer.Subspace{o.Subspace}, hosminer.MatchSubset))
+	}
+	// On this easy synthetic instance the planted subspaces should be
+	// recalled.
+	for i, p := range prfs {
+		if p.Recall == 0 {
+			t.Fatalf("outlier %d: zero recall", i)
+		}
+	}
+}
+
+func TestPublicSubspaceHelpers(t *testing.T) {
+	s := hosminer.NewSubspace(0, 2)
+	if s.String() != "[0,2]" {
+		t.Fatalf("String = %q", s.String())
+	}
+	back, err := hosminer.ParseSubspace("[0,2]")
+	if err != nil || back != s {
+		t.Fatalf("parse: %v %v", back, err)
+	}
+	if hosminer.FullSubspace(3).Card() != 3 {
+		t.Fatal("FullSubspace")
+	}
+	min := hosminer.MinimalSubspaces([]hosminer.Subspace{
+		hosminer.NewSubspace(0), hosminer.NewSubspace(0, 1),
+	})
+	if len(min) != 1 || min[0] != hosminer.NewSubspace(0) {
+		t.Fatalf("MinimalSubspaces = %v", min)
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	ds, _, err := hosminer.GenerateAthlete(50, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "athlete.csv")
+	if err := hosminer.SaveCSV(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hosminer.LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Dim() != ds.Dim() {
+		t.Fatal("round trip shape")
+	}
+	if back.ColumnName(0) != ds.ColumnName(0) {
+		t.Fatal("column names lost")
+	}
+}
+
+func TestPublicPseudoRealGenerators(t *testing.T) {
+	for name, gen := range map[string]func(int, int, int64) (*hosminer.Dataset, hosminer.GroundTruth, error){
+		"athlete": hosminer.GenerateAthlete,
+		"medical": hosminer.GenerateMedical,
+		"nba":     hosminer.GenerateNBA,
+	} {
+		ds, truth, err := gen(100, 3, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.N() != 100 || len(truth.Outliers) != 3 {
+			t.Fatalf("%s: shape", name)
+		}
+	}
+}
+
+func TestPublicExternalQueryWithRowsAPI(t *testing.T) {
+	rows := [][]float64{}
+	for i := 0; i < 60; i++ {
+		rows = append(rows, []float64{float64(i%10) * 0.1, float64(i%7) * 0.1, 0.5})
+	}
+	ds, err := hosminer.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hosminer.New(ds, hosminer.Config{K: 4, T: 5, Metric: hosminer.L2, Backend: hosminer.BackendLinear, Policy: hosminer.PolicyTSF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.OutlyingSubspaces([]float64{0.5, 0.3, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsOutlierAnywhere {
+		t.Fatal("external outlier missed")
+	}
+	for _, s := range res.Minimal {
+		if !s.Contains(2) {
+			t.Fatalf("minimal %v should involve dim 2", s)
+		}
+	}
+}

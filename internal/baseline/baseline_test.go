@@ -1,0 +1,242 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/od"
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+// clusterWithOutlier builds a tight cluster plus one far point at
+// index n-1.
+func clusterWithOutlier(t testing.TB, seed int64, n, d int) *vector.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64() * 0.3
+		}
+	}
+	for j := range rows[n-1] {
+		rows[n-1][j] = 50
+	}
+	ds, err := vector.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func newSearcher(t testing.TB, ds *vector.Dataset) knn.Searcher {
+	t.Helper()
+	ls, err := knn.NewLinear(ds, vector.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestNaiveSearchCountsAndFindsOutlier(t *testing.T) {
+	d := 4
+	ds := clusterWithOutlier(t, 1, 60, d)
+	ls := newSearcher(t, ds)
+	eval, err := od.NewEvaluator(ds, ls, vector.L2, 3, od.NormNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NaiveSearch(eval, ds.Point(59), 59, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != subspace.TotalSubspaces(d) {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, subspace.TotalSubspaces(d))
+	}
+	// The planted global outlier deviates in every dim, so every
+	// subspace is outlying at this threshold.
+	if int64(len(res.Outlying)) != subspace.TotalSubspaces(d) {
+		t.Fatalf("outlying = %d subspaces", len(res.Outlying))
+	}
+	// Inlier query: no subspace should fire.
+	res2, _ := NaiveSearch(eval, ds.Point(0), 0, 10)
+	if len(res2.Outlying) != 0 {
+		t.Fatalf("inlier outlying in %d subspaces", len(res2.Outlying))
+	}
+	if _, err := NaiveSearch(nil, ds.Point(0), 0, 1); err == nil {
+		t.Fatal("nil evaluator accepted")
+	}
+}
+
+func TestTopNKNNOutliers(t *testing.T) {
+	ds := clusterWithOutlier(t, 2, 50, 3)
+	ls := newSearcher(t, ds)
+	top, err := TopNKNNOutliers(ds, ls, subspace.Full(3), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].Index != 49 {
+		t.Fatalf("top outlier = %d, want 49", top[0].Index)
+	}
+	if top[0].Score <= top[1].Score {
+		t.Fatal("scores not descending")
+	}
+}
+
+func TestKNNWeightOutliers(t *testing.T) {
+	ds := clusterWithOutlier(t, 3, 50, 3)
+	ls := newSearcher(t, ds)
+	top, err := KNNWeightOutliers(ds, ls, subspace.Full(3), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].Index != 49 {
+		t.Fatalf("top = %d", top[0].Index)
+	}
+	// Weight score must equal OD of the same point.
+	eval, _ := od.NewEvaluator(ds, ls, vector.L2, 4, od.NormNone)
+	want := eval.ODOfPoint(49, subspace.Full(3))
+	if math.Abs(top[0].Score-want) > 1e-9 {
+		t.Fatalf("score %v != OD %v", top[0].Score, want)
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	ds := clusterWithOutlier(t, 4, 20, 2)
+	ls := newSearcher(t, ds)
+	if _, err := TopNKNNOutliers(nil, ls, subspace.Full(2), 2, 1); err == nil {
+		t.Fatal("nil ds accepted")
+	}
+	if _, err := TopNKNNOutliers(ds, nil, subspace.Full(2), 2, 1); err == nil {
+		t.Fatal("nil searcher accepted")
+	}
+	if _, err := TopNKNNOutliers(ds, ls, subspace.Empty, 2, 1); err == nil {
+		t.Fatal("empty subspace accepted")
+	}
+	if _, err := TopNKNNOutliers(ds, ls, subspace.Full(2), 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := TopNKNNOutliers(ds, ls, subspace.Full(2), 2, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := KNNWeightOutliers(ds, ls, subspace.Full(2), 2, 0); err == nil {
+		t.Fatal("weight n=0 accepted")
+	}
+	if _, err := LOF(ds, ls, subspace.Full(2), 0); err == nil {
+		t.Fatal("LOF minPts=0 accepted")
+	}
+}
+
+func TestDBOutliers(t *testing.T) {
+	ds := clusterWithOutlier(t, 5, 60, 3)
+	outs, err := DBOutliers(ds, vector.L2, subspace.Full(3), 0.95, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0] != 59 {
+		t.Fatalf("DB outliers = %v, want [59]", outs)
+	}
+	// Subspace-restricted: in a single constant-ish dim with huge δ,
+	// nobody is an outlier.
+	outs2, err := DBOutliers(ds, vector.L2, subspace.New(0), 0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs2) != 0 {
+		t.Fatalf("loose δ outliers = %v", outs2)
+	}
+}
+
+func TestDBOutliersValidation(t *testing.T) {
+	ds := clusterWithOutlier(t, 5, 20, 2)
+	if _, err := DBOutliers(nil, vector.L2, subspace.Full(2), 0.9, 1); err == nil {
+		t.Fatal("nil ds")
+	}
+	if _, err := DBOutliers(ds, vector.L2, subspace.Empty, 0.9, 1); err == nil {
+		t.Fatal("empty subspace")
+	}
+	for _, pi := range []float64{0, 1, -0.5, 2} {
+		if _, err := DBOutliers(ds, vector.L2, subspace.Full(2), pi, 1); err == nil {
+			t.Fatalf("pi=%v accepted", pi)
+		}
+	}
+	if _, err := DBOutliers(ds, vector.L2, subspace.Full(2), 0.9, 0); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+}
+
+func TestLOFFlagsOutlier(t *testing.T) {
+	ds := clusterWithOutlier(t, 6, 80, 3)
+	ls := newSearcher(t, ds)
+	scores, err := LOF(ds, ls, subspace.Full(3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 80 {
+		t.Fatalf("len = %d", len(scores))
+	}
+	// Outlier LOF far above 1; typical inliers near 1.
+	if scores[79] < 2 {
+		t.Fatalf("outlier LOF = %v, want >> 1", scores[79])
+	}
+	inlierMax := 0.0
+	for i := 0; i < 79; i++ {
+		if scores[i] > inlierMax {
+			inlierMax = scores[i]
+		}
+	}
+	if scores[79] <= inlierMax {
+		t.Fatalf("outlier LOF %v not above inlier max %v", scores[79], inlierMax)
+	}
+}
+
+func TestLOFUniformDataNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rows := make([][]float64, 150)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	ds, _ := vector.FromRows(rows)
+	ls := newSearcher(t, ds)
+	scores, err := LOF(ds, ls, subspace.Full(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean LOF over uniform data should hover around 1.
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	mean := sum / float64(len(scores))
+	if mean < 0.8 || mean > 1.6 {
+		t.Fatalf("uniform mean LOF = %v", mean)
+	}
+}
+
+func TestLOFDuplicatesDegenerate(t *testing.T) {
+	// Many duplicates: lrd is infinite; the convention must keep
+	// scores finite and near 1.
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = []float64{1, 1}
+	}
+	rows[29] = []float64{9, 9}
+	ds, _ := vector.FromRows(rows)
+	ls := newSearcher(t, ds)
+	scores, err := LOF(ds, ls, subspace.Full(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+func TestIntentionalValidation(t *testing.T) {
+	ds := clusterWithOutlier(t, 1, 30, 3)
+	q := ds.Point(0)
+	if _, err := IntentionalOutlyingSpaces(nil, vector.L2, q, 0, 0.9, 1); err == nil {
+		t.Fatal("nil ds accepted")
+	}
+	if _, err := IntentionalOutlyingSpaces(ds, vector.L2, []float64{1}, -1, 0.9, 1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := IntentionalOutlyingSpaces(ds, vector.L2, q, 0, 0, 1); err == nil {
+		t.Fatal("pi=0 accepted")
+	}
+	if _, err := IntentionalOutlyingSpaces(ds, vector.L2, q, 0, 0.9, 0); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+}
+
+func TestIntentionalFindsPlantedSpace(t *testing.T) {
+	// A cluster plus one point displaced only in dim 1.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 80)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}
+	}
+	rows[0][1] = 40
+	ds, _ := vector.FromRows(rows)
+	res, err := IntentionalOutlyingSpaces(ds, vector.L2, ds.Point(0), 0, 0.95, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strongest) != 1 || res.Strongest[0] != subspace.New(1) {
+		t.Fatalf("strongest = %v, want [[1]]", res.Strongest)
+	}
+	// Outlying set = all supersets of [1]: 4 of the 7 subspaces.
+	if res.OutlyingCount != 4 {
+		t.Fatalf("outlying count = %d, want 4", res.OutlyingCount)
+	}
+	// Pruning must save evaluations vs the 7-subspace sweep.
+	if res.Evaluations >= 7 {
+		t.Fatalf("no pruning: %d evaluations", res.Evaluations)
+	}
+}
+
+func TestIntentionalInlierEmpty(t *testing.T) {
+	ds := clusterWithOutlier(t, 5, 60, 3)
+	res, err := IntentionalOutlyingSpaces(ds, vector.L2, ds.Point(0), 0, 0.95, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strongest) != 0 || res.OutlyingCount != 0 {
+		t.Fatalf("inlier got %v", res.Strongest)
+	}
+}
+
+// TestIntentionalMatchesBruteForce: the lattice-pruned result must
+// equal a direct per-subspace evaluation of the DB predicate.
+func TestIntentionalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]float64, 60)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	rows[0] = []float64{6, 0.1, 5, 0}
+	ds, _ := vector.FromRows(rows)
+	const pi, delta = 0.9, 2.0
+	res, err := IntentionalOutlyingSpaces(ds, vector.L2, ds.Point(0), 0, pi, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needed := int((1 - pi) * float64(ds.N()-1))
+	var brute []subspace.Mask
+	subspace.EachAll(4, func(s subspace.Mask) bool {
+		within := 0
+		for i := 1; i < ds.N(); i++ {
+			if vector.Dist(vector.L2, s, ds.Point(0), ds.Point(i)) <= delta {
+				within++
+			}
+		}
+		if within < needed {
+			brute = append(brute, s)
+		}
+		return true
+	})
+	if len(brute) != res.OutlyingCount {
+		t.Fatalf("outlying count %d, brute force %d", res.OutlyingCount, len(brute))
+	}
+	bruteMin := minimalOf(brute)
+	if len(bruteMin) != len(res.Strongest) {
+		t.Fatalf("strongest %v vs brute %v", res.Strongest, bruteMin)
+	}
+	for i := range bruteMin {
+		if bruteMin[i] != res.Strongest[i] {
+			t.Fatalf("strongest %v vs brute %v", res.Strongest, bruteMin)
+		}
+	}
+}
+
+func TestIntentionalExternalQuery(t *testing.T) {
+	ds := clusterWithOutlier(t, 9, 50, 2)
+	res, err := IntentionalOutlyingSpaces(ds, vector.L2, []float64{0, 99}, -1, 0.9, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strongest) == 0 {
+		t.Fatal("external outlier missed")
+	}
+	for _, s := range res.Strongest {
+		if !s.Contains(1) {
+			t.Fatalf("strongest %v should involve dim 1", s)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "repro/internal/subspace"
+
+// MinimalSubspaces implements the §3.4 result refinement filter: from
+// the full set of outlying subspaces, keep only those of the lowest
+// possible dimensionality — a subspace is discarded if it is a
+// superset of a previously selected one. The paper's example: from
+// {[1,3], [2,4], [1,2,3], [1,2,4], [1,3,4], [2,3,4], [1,2,3,4]} the
+// filter returns {[1,3], [2,4]}.
+//
+// The input need not be sorted; the output is canonically sorted
+// (ascending cardinality, then mask). The input slice is not
+// modified.
+func MinimalSubspaces(outlying []subspace.Mask) []subspace.Mask {
+	if len(outlying) == 0 {
+		return nil
+	}
+	sorted := append([]subspace.Mask(nil), outlying...)
+	subspace.SortMasks(sorted)
+	var kept []subspace.Mask
+	for _, s := range sorted {
+		// coveredBy uses ⊇ (including equality), so duplicates of an
+		// already-kept subspace are skipped too.
+		if !coveredBy(s, kept) {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// coveredBy reports whether s is a (proper or equal) superset of any
+// kept subspace.
+func coveredBy(s subspace.Mask, kept []subspace.Mask) bool {
+	for _, k := range kept {
+		if s.SupersetOf(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpandMinimal is the inverse view of the filter: given the minimal
+// outlying subspaces and the space dimensionality, it enumerates the
+// full outlying set (every superset of any minimal subspace),
+// canonically sorted. It is used by tests to confirm the filter loses
+// no information.
+func ExpandMinimal(minimal []subspace.Mask, d int) []subspace.Mask {
+	seen := make(map[subspace.Mask]bool)
+	for _, s := range minimal {
+		seen[s] = true
+		subspace.Supersets(d, s, func(sup subspace.Mask) bool {
+			seen[sup] = true
+			return true
+		})
+	}
+	out := make([]subspace.Mask, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	subspace.SortMasks(out)
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/subspace"
+)
+
+// TestMinimalSubspacesPaperExample reproduces the §3.4 worked
+// example: outlying subspaces {[1,3],[2,4],[1,2,3],[1,2,4],[1,3,4],
+// [2,3,4],[1,2,3,4]} filter to {[1,3],[2,4]}. (The paper is 1-based;
+// we shift to 0-based dims.)
+func TestMinimalSubspacesPaperExample(t *testing.T) {
+	in := []subspace.Mask{
+		subspace.New(0, 2),       // [1,3]
+		subspace.New(1, 3),       // [2,4]
+		subspace.New(0, 1, 2),    // [1,2,3]
+		subspace.New(0, 1, 3),    // [1,2,4]
+		subspace.New(0, 2, 3),    // [1,3,4]
+		subspace.New(1, 2, 3),    // [2,3,4]
+		subspace.New(0, 1, 2, 3), // [1,2,3,4]
+	}
+	got := MinimalSubspaces(in)
+	if len(got) != 2 || got[0] != subspace.New(0, 2) || got[1] != subspace.New(1, 3) {
+		t.Fatalf("filter = %v, want [[0,2] [1,3]]", got)
+	}
+}
+
+func TestMinimalSubspacesEmptyAndSingle(t *testing.T) {
+	if MinimalSubspaces(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+	one := []subspace.Mask{subspace.New(2)}
+	got := MinimalSubspaces(one)
+	if len(got) != 1 || got[0] != subspace.New(2) {
+		t.Fatalf("singleton = %v", got)
+	}
+}
+
+func TestMinimalSubspacesDuplicates(t *testing.T) {
+	in := []subspace.Mask{subspace.New(1), subspace.New(1), subspace.New(1, 2)}
+	got := MinimalSubspaces(in)
+	if len(got) != 1 || got[0] != subspace.New(1) {
+		t.Fatalf("dedup = %v", got)
+	}
+}
+
+func TestMinimalSubspacesIncomparable(t *testing.T) {
+	in := []subspace.Mask{subspace.New(0, 1), subspace.New(2, 3), subspace.New(1, 2)}
+	got := MinimalSubspaces(in)
+	if len(got) != 3 {
+		t.Fatalf("pairwise-incomparable set should survive: %v", got)
+	}
+}
+
+func TestMinimalSubspacesDoesNotMutateInput(t *testing.T) {
+	in := []subspace.Mask{subspace.New(0, 1, 2), subspace.New(0)}
+	MinimalSubspaces(in)
+	if in[0] != subspace.New(0, 1, 2) || in[1] != subspace.New(0) {
+		t.Fatal("input reordered")
+	}
+}
+
+// TestMinimalSubspacesProperties (property): over random upward-
+// closed sets, (1) no kept subspace is a superset of another kept
+// one; (2) every input subspace is a superset of some kept one;
+// (3) expanding the minimal set reproduces the input exactly.
+func TestMinimalSubspacesProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(6)
+		// Build a random upward-closed outlying set from random seeds.
+		seen := make(map[subspace.Mask]bool)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			s := subspace.Mask(rng.Uint32()) & subspace.Full(d)
+			if s.IsEmpty() {
+				continue
+			}
+			seen[s] = true
+			subspace.Supersets(d, s, func(sup subspace.Mask) bool {
+				seen[sup] = true
+				return true
+			})
+		}
+		var in []subspace.Mask
+		for s := range seen {
+			in = append(in, s)
+		}
+		kept := MinimalSubspaces(in)
+		for i, a := range kept {
+			for j, b := range kept {
+				if i != j && a.SupersetOf(b) {
+					return false
+				}
+			}
+		}
+		for _, s := range in {
+			if !coveredBy(s, kept) {
+				return false
+			}
+		}
+		expanded := ExpandMinimal(kept, d)
+		if len(expanded) != len(in) {
+			return false
+		}
+		for _, s := range expanded {
+			if !seen[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandMinimalEmpty(t *testing.T) {
+	if got := ExpandMinimal(nil, 4); len(got) != 0 {
+		t.Fatalf("expand(nil) = %v", got)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/knn"
+	"repro/internal/od"
+	"repro/internal/subspace"
+	"repro/internal/vector"
+	"repro/internal/xtree"
+)
+
+// Backend selects the k-NN engine behind OD evaluation.
+type Backend uint8
+
+const (
+	// BackendAuto uses an X-tree for datasets above a size threshold
+	// and a linear scan below it.
+	BackendAuto Backend = iota
+	// BackendLinear always scans.
+	BackendLinear
+	// BackendXTree always uses the X-tree index (§3, "X-tree
+	// Indexing" module).
+	BackendXTree
+)
+
+// autoXTreeThreshold is the dataset size above which BackendAuto
+// prefers the X-tree.
+const autoXTreeThreshold = 512
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendLinear:
+		return "linear"
+	case BackendXTree:
+		return "xtree"
+	default:
+		return fmt.Sprintf("Backend(%d)", uint8(b))
+	}
+}
+
+// Config parameterises a Miner.
+type Config struct {
+	// K is the neighbourhood size of the OD measure (§2).
+	K int
+	// T is the paper's global outlying-degree threshold: p is an
+	// outlier in s iff OD(p, s) ≥ T. Exactly one of T/TQuantile is
+	// used: when TQuantile > 0, T is derived at Preprocess time as
+	// that quantile of the full-space OD distribution over the
+	// dataset.
+	T         float64
+	TQuantile float64
+	// Metric is the distance metric (default L2, as the paper
+	// implies).
+	Metric vector.Metric
+	// SampleSize is the number of sample points for the §3.2 learning
+	// process. 0 disables learning (uniform priors are used for
+	// queries too).
+	SampleSize int
+	// Seed drives sampling and PolicyRandom. The same seed reproduces
+	// the same run bit-for-bit.
+	Seed int64
+	// Policy is the layer-ordering strategy (PolicyTSF = the paper).
+	Policy Policy
+	// Backend selects the k-NN engine.
+	Backend Backend
+}
+
+func (c *Config) validate(ds *vector.Dataset) error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K = %d, need ≥ 1", c.K)
+	}
+	if c.K >= ds.N() {
+		return fmt.Errorf("core: K = %d must be below dataset size %d", c.K, ds.N())
+	}
+	if !c.Metric.Valid() {
+		return fmt.Errorf("core: invalid metric")
+	}
+	if c.TQuantile < 0 || c.TQuantile >= 1 {
+		if c.TQuantile != 0 {
+			return fmt.Errorf("core: TQuantile %v out of (0,1)", c.TQuantile)
+		}
+	}
+	if c.TQuantile == 0 && c.T <= 0 {
+		return fmt.Errorf("core: need a positive T or a TQuantile in (0,1)")
+	}
+	if c.SampleSize < 0 || c.SampleSize > ds.N() {
+		return fmt.Errorf("core: SampleSize %d out of [0,%d]", c.SampleSize, ds.N())
+	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("core: invalid policy")
+	}
+	if c.Backend > BackendXTree {
+		return fmt.Errorf("core: invalid backend")
+	}
+	return nil
+}
+
+// Miner is the HOS-Miner system: dataset + index + learned priors.
+// Construct with NewMiner, then call Preprocess once (indexing +
+// learning), then OutlyingSubspaces per query.
+type Miner struct {
+	cfg  Config
+	ds   *vector.Dataset
+	eval *od.Evaluator
+	srch knn.Searcher
+	tree *xtree.Tree // non-nil when the backend is an X-tree
+
+	threshold    float64
+	priors       Priors
+	learned      bool
+	preprocessed bool
+	rng          *rand.Rand
+
+	learnStats LearnStats
+}
+
+// LearnStats summarises the §3.2 learning phase.
+type LearnStats struct {
+	Samples        int
+	ODEvaluations  int64 // OD computations spent on sample searches
+	SampledIndices []int
+}
+
+// NewMiner validates the configuration and builds the k-NN backend
+// (but performs no learning yet; see Preprocess).
+func NewMiner(ds *vector.Dataset, cfg Config) (*Miner, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if ds.Dim() < 1 || ds.Dim() > subspace.MaxDim {
+		return nil, fmt.Errorf("core: dimensionality %d out of [1,%d]", ds.Dim(), subspace.MaxDim)
+	}
+	if err := cfg.validate(ds); err != nil {
+		return nil, err
+	}
+
+	var searcher knn.Searcher
+	var tree *xtree.Tree
+	useXTree := cfg.Backend == BackendXTree ||
+		(cfg.Backend == BackendAuto && ds.N() >= autoXTreeThreshold)
+	if useXTree {
+		t, err := xtree.Build(ds, cfg.Metric, xtree.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		tree = t
+		searcher = xtree.NewSearcher(t)
+	} else {
+		ls, err := knn.NewLinear(ds, cfg.Metric)
+		if err != nil {
+			return nil, err
+		}
+		searcher = ls
+	}
+
+	eval, err := od.NewEvaluator(ds, searcher, cfg.Metric, cfg.K, od.NormNone)
+	if err != nil {
+		return nil, err
+	}
+	return &Miner{
+		cfg:    cfg,
+		ds:     ds,
+		eval:   eval,
+		srch:   searcher,
+		tree:   tree,
+		priors: UniformPriors(ds.Dim()),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// workerEvaluator builds an independent OD evaluator for one worker
+// goroutine. The X-tree itself is immutable after Build and safe for
+// concurrent reads; Searchers and Evaluators carry per-instance work
+// counters and are not, so each worker gets its own.
+func (m *Miner) workerEvaluator() (*od.Evaluator, error) {
+	var searcher knn.Searcher
+	if m.tree != nil {
+		searcher = xtree.NewSearcher(m.tree)
+	} else {
+		ls, err := knn.NewLinear(m.ds, m.cfg.Metric)
+		if err != nil {
+			return nil, err
+		}
+		searcher = ls
+	}
+	return od.NewEvaluator(m.ds, searcher, m.cfg.Metric, m.cfg.K, od.NormNone)
+}
+
+// Dataset returns the indexed dataset.
+func (m *Miner) Dataset() *vector.Dataset { return m.ds }
+
+// Threshold returns the effective T (resolved from TQuantile at
+// Preprocess time when configured).
+func (m *Miner) Threshold() float64 { return m.threshold }
+
+// Priors returns the priors queries will use (learned when learning
+// ran, uniform otherwise).
+func (m *Miner) Priors() Priors { return m.priors }
+
+// LearnStats returns the learning-phase summary (zero value before
+// Preprocess).
+func (m *Miner) LearnStats() LearnStats { return m.learnStats }
+
+// SearcherStats returns cumulative k-NN work counters.
+func (m *Miner) SearcherStats() knn.SearchStats { return m.srch.Stats() }
+
+// Preprocess resolves the threshold and runs the sample-based
+// learning process (§3.2): SampleSize points are drawn uniformly
+// without replacement, each is searched with uniform priors, and the
+// per-layer outlier fractions are averaged into the query priors.
+// Preprocess is idempotent; repeated calls are no-ops.
+func (m *Miner) Preprocess() error {
+	if m.preprocessed {
+		return nil
+	}
+	d := m.ds.Dim()
+
+	// Resolve the threshold.
+	if m.cfg.TQuantile > 0 {
+		ods := m.eval.FullSpaceODs()
+		t, err := vector.Quantile(ods, m.cfg.TQuantile)
+		if err != nil {
+			return fmt.Errorf("core: resolving TQuantile: %w", err)
+		}
+		if t <= 0 {
+			return fmt.Errorf("core: TQuantile %v resolves to non-positive threshold %v (degenerate dataset)", m.cfg.TQuantile, t)
+		}
+		m.threshold = t
+	} else {
+		m.threshold = m.cfg.T
+	}
+
+	// Learning.
+	if m.cfg.SampleSize > 0 {
+		uniform := UniformPriors(d)
+		perm := m.rng.Perm(m.ds.N())
+		sampled := perm[:m.cfg.SampleSize]
+		perSample := make([]Priors, 0, len(sampled))
+		evalsBefore := m.eval.Evaluations()
+		for _, idx := range sampled {
+			q := m.eval.NewQueryForPoint(idx)
+			res, err := Search(q, d, m.threshold, uniform, PolicyTSF, m.rng)
+			if err != nil {
+				return fmt.Errorf("core: learning on sample %d: %w", idx, err)
+			}
+			perSample = append(perSample, PriorsFromResult(res))
+		}
+		m.priors = SmoothPriors(averagePriors(perSample, d), len(perSample))
+		m.learned = true
+		m.learnStats = LearnStats{
+			Samples:        len(sampled),
+			ODEvaluations:  m.eval.Evaluations() - evalsBefore,
+			SampledIndices: append([]int(nil), sampled...),
+		}
+	}
+	m.preprocessed = true
+	return nil
+}
+
+// QueryResult is what a caller receives for one query point.
+type QueryResult struct {
+	SearchResult
+	// Threshold is the effective T the search used.
+	Threshold float64
+	// ODEvaluations is the number of distinct OD computations this
+	// query performed.
+	ODEvaluations int64
+	// IsOutlierAnywhere reports whether the point is an outlier in at
+	// least one subspace (the paper: "if the answer set is empty for
+	// p, we say that p is not an outlier in any subspace").
+	IsOutlierAnywhere bool
+}
+
+// OutlyingSubspaces finds every subspace in which the given point is
+// an outlier, and the minimal set after refinement. The point may be
+// external to the dataset.
+func (m *Miner) OutlyingSubspaces(point []float64) (*QueryResult, error) {
+	return m.query(point, -1)
+}
+
+// OutlyingSubspacesOfPoint runs the query for dataset member idx
+// (self-excluded from its own neighbourhoods).
+func (m *Miner) OutlyingSubspacesOfPoint(idx int) (*QueryResult, error) {
+	if idx < 0 || idx >= m.ds.N() {
+		return nil, fmt.Errorf("core: point index %d out of range [0,%d)", idx, m.ds.N())
+	}
+	return m.query(m.ds.Point(idx), idx)
+}
+
+func (m *Miner) query(point []float64, exclude int) (*QueryResult, error) {
+	if err := m.Preprocess(); err != nil {
+		return nil, err
+	}
+	if len(point) != m.ds.Dim() {
+		return nil, fmt.Errorf("core: query point has %d dims, dataset %d", len(point), m.ds.Dim())
+	}
+	q := m.eval.NewQuery(point, exclude)
+	res, err := Search(q, m.ds.Dim(), m.threshold, m.priors, m.cfg.Policy, m.rng)
+	if err != nil {
+		return nil, err
+	}
+	_, misses := q.CacheStats()
+	return &QueryResult{
+		SearchResult:      *res,
+		Threshold:         m.threshold,
+		ODEvaluations:     misses,
+		IsOutlierAnywhere: len(res.Outlying) > 0,
+	}, nil
+}

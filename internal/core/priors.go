@@ -1,0 +1,131 @@
+// Package core implements the HOS-Miner algorithm itself (§3 of the
+// paper): the Total Saving Factor that prices each lattice layer
+// (Definition 3), the sample-based learning process that estimates the
+// pruning probabilities (§3.2), the dynamic subspace search (§3.3)
+// and the result refinement filter (§3.4). Substrates — distances,
+// k-NN engines, the X-tree, lattice bookkeeping — live in sibling
+// packages.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Priors holds the estimated pruning probabilities per lattice layer:
+// PUp[m] = P(OD_s(p) ≥ T) and PDown[m] = P(OD_s(p) < T) for an
+// m-dimensional subspace s. Index 0 is unused. The paper fixes
+// PDown[1] = 0 and PUp[d] = 0 because layer 1 yields no downward
+// savings and layer d no upward savings.
+type Priors struct {
+	PUp   []float64
+	PDown []float64
+}
+
+// UniformPriors returns the §3.2 priors used for sample points:
+// 0.5/0.5 on interior layers, (1, 0) at m = 1 and (0, 1) at m = d.
+func UniformPriors(d int) Priors {
+	p := Priors{PUp: make([]float64, d+1), PDown: make([]float64, d+1)}
+	for m := 1; m <= d; m++ {
+		switch {
+		case m == 1 && d == 1:
+			// Degenerate lattice: no pruning possible either way.
+			p.PUp[m], p.PDown[m] = 0, 0
+		case m == 1:
+			p.PUp[m], p.PDown[m] = 1, 0
+		case m == d:
+			p.PUp[m], p.PDown[m] = 0, 1
+		default:
+			p.PUp[m], p.PDown[m] = 0.5, 0.5
+		}
+	}
+	return p
+}
+
+// Dim returns the lattice dimensionality the priors were built for.
+func (p Priors) Dim() int { return len(p.PUp) - 1 }
+
+// Validate checks structural sanity: equal lengths, probabilities in
+// [0,1], and the boundary conventions PDown[1] = 0, PUp[d] = 0 (for
+// d > 1).
+func (p Priors) Validate() error {
+	if len(p.PUp) != len(p.PDown) {
+		return fmt.Errorf("core: priors length mismatch %d vs %d", len(p.PUp), len(p.PDown))
+	}
+	d := p.Dim()
+	if d < 1 {
+		return fmt.Errorf("core: priors cover no layers")
+	}
+	for m := 1; m <= d; m++ {
+		for _, v := range []float64{p.PUp[m], p.PDown[m]} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("core: prior out of [0,1] at layer %d", m)
+			}
+		}
+	}
+	if d > 1 {
+		if p.PDown[1] != 0 {
+			return fmt.Errorf("core: PDown[1] = %v, must be 0", p.PDown[1])
+		}
+		if p.PUp[d] != 0 {
+			return fmt.Errorf("core: PUp[d] = %v, must be 0", p.PUp[d])
+		}
+	}
+	return nil
+}
+
+// SmoothPriors blends learned priors with one virtual uniform sample
+// (Laplace-style): p ← (S·p + 0.5)/(S + 1) on interior layers. The
+// paper's plain averaging can return exactly-zero probabilities (all
+// sampled points non-outlying in every m-dim subspace is the common
+// case), and a zero p_up blinds the TSF to upward-pruning
+// opportunities for the very queries users care about — outliers.
+// One pseudo-sample keeps the learned signal dominant while removing
+// the degeneracy; DESIGN.md records this as a deliberate deviation.
+func SmoothPriors(p Priors, samples int) Priors {
+	d := p.Dim()
+	out := Priors{PUp: make([]float64, d+1), PDown: make([]float64, d+1)}
+	s := float64(samples)
+	for m := 1; m <= d; m++ {
+		out.PUp[m] = (s*p.PUp[m] + 0.5) / (s + 1)
+		out.PDown[m] = (s*p.PDown[m] + 0.5) / (s + 1)
+	}
+	if d > 1 {
+		out.PUp[1], out.PDown[1] = (s*p.PUp[1]+1)/(s+1), 0
+		out.PUp[d], out.PDown[d] = 0, (s*p.PDown[d]+1)/(s+1)
+	} else {
+		out.PUp[1], out.PDown[1] = 0, 0
+	}
+	return out
+}
+
+// AveragePriors pools per-sample layer statistics into the learned
+// priors of §3.2: the mean over samples of the fraction of
+// m-dimensional subspaces found outlying (PUp) and non-outlying
+// (PDown), with the boundary conventions applied. It is exported for
+// the experiment harness, which runs the learning loop with custom
+// sampling.
+func AveragePriors(perSample []Priors, d int) Priors {
+	return averagePriors(perSample, d)
+}
+
+func averagePriors(perSample []Priors, d int) Priors {
+	out := Priors{PUp: make([]float64, d+1), PDown: make([]float64, d+1)}
+	if len(perSample) == 0 {
+		return UniformPriors(d)
+	}
+	for m := 1; m <= d; m++ {
+		var up, down float64
+		for _, ps := range perSample {
+			up += ps.PUp[m]
+			down += ps.PDown[m]
+		}
+		out.PUp[m] = up / float64(len(perSample))
+		out.PDown[m] = down / float64(len(perSample))
+	}
+	if d > 1 {
+		out.PDown[1] = 0
+		out.PUp[d] = 0
+	}
+	return out
+}

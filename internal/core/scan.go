@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/subspace"
+)
+
+// ScanHit is one dataset point found to be an outlier in at least one
+// subspace during a whole-dataset scan.
+type ScanHit struct {
+	Index int
+	// Minimal outlying subspaces of the point (§3.4 filtered).
+	Minimal []subspace.Mask
+	// OutlyingCount is the size of the full outlying set.
+	OutlyingCount int
+	// FullSpaceOD is the point's OD in the full attribute space
+	// (a convenient severity proxy for ranking).
+	FullSpaceOD float64
+}
+
+// ScanOptions tunes ScanAll.
+type ScanOptions struct {
+	// MaxResults bounds the number of hits returned (0 = all).
+	MaxResults int
+	// SortBySeverity orders hits by descending full-space OD instead
+	// of ascending index.
+	SortBySeverity bool
+}
+
+// ScanAll runs the outlying-subspace query for every dataset point
+// and returns the points with non-empty answer sets — the system-
+// level "detect the outlying subspaces of high-dimensional data"
+// operation. Cost is N times the per-query cost; intended for
+// moderate datasets or offline runs.
+func (m *Miner) ScanAll(opts ScanOptions) ([]ScanHit, error) {
+	if err := m.Preprocess(); err != nil {
+		return nil, err
+	}
+	if opts.MaxResults < 0 {
+		return nil, fmt.Errorf("core: MaxResults = %d", opts.MaxResults)
+	}
+	var hits []ScanHit
+	fullSpace := subspace.Full(m.ds.Dim())
+	for i := 0; i < m.ds.N(); i++ {
+		res, err := m.OutlyingSubspacesOfPoint(i)
+		if err != nil {
+			return nil, err
+		}
+		if !res.IsOutlierAnywhere {
+			continue
+		}
+		hits = append(hits, ScanHit{
+			Index:         i,
+			Minimal:       res.Minimal,
+			OutlyingCount: len(res.Outlying),
+			FullSpaceOD:   m.eval.OD(m.ds.Point(i), fullSpace, i),
+		})
+	}
+	return finishScan(hits, opts), nil
+}
+
+// ScanAllParallel is ScanAll fanned out over a worker pool. Results
+// are identical to ScanAll (answers do not depend on evaluation
+// order); only wall-clock changes. workers ≤ 0 selects GOMAXPROCS.
+//
+// Note: PolicyRandom queries draw from per-worker deterministic RNGs,
+// so the *work* per query can differ from the sequential run; the
+// answer sets cannot.
+func (m *Miner) ScanAllParallel(opts ScanOptions, workers int) ([]ScanHit, error) {
+	if err := m.Preprocess(); err != nil {
+		return nil, err
+	}
+	if opts.MaxResults < 0 {
+		return nil, fmt.Errorf("core: MaxResults = %d", opts.MaxResults)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.ds.N() {
+		workers = m.ds.N()
+	}
+	if workers <= 1 {
+		return m.ScanAll(opts)
+	}
+
+	d := m.ds.Dim()
+	fullSpace := subspace.Full(d)
+	perPoint := make([]*ScanHit, m.ds.N())
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			eval, err := m.workerEvaluator()
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			rng := newDeterministicRng(m.cfg.Seed, int64(worker))
+			for i := worker; i < m.ds.N(); i += workers {
+				q := eval.NewQueryForPoint(i)
+				res, err := Search(q, d, m.threshold, m.priors, m.cfg.Policy, rng)
+				if err != nil {
+					errs[worker] = err
+					return
+				}
+				if len(res.Outlying) == 0 {
+					continue
+				}
+				perPoint[i] = &ScanHit{
+					Index:         i,
+					Minimal:       res.Minimal,
+					OutlyingCount: len(res.Outlying),
+					FullSpaceOD:   eval.OD(m.ds.Point(i), fullSpace, i),
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var hits []ScanHit
+	for _, h := range perPoint {
+		if h != nil {
+			hits = append(hits, *h)
+		}
+	}
+	return finishScan(hits, opts), nil
+}
+
+func finishScan(hits []ScanHit, opts ScanOptions) []ScanHit {
+	if opts.SortBySeverity {
+		sort.Slice(hits, func(a, b int) bool {
+			if hits[a].FullSpaceOD != hits[b].FullSpaceOD {
+				return hits[a].FullSpaceOD > hits[b].FullSpaceOD
+			}
+			return hits[a].Index < hits[b].Index
+		})
+	}
+	if opts.MaxResults > 0 && len(hits) > opts.MaxResults {
+		hits = hits[:opts.MaxResults]
+	}
+	return hits
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/subspace"
+)
+
+func TestScanAllFindsPlantedOutliers(t *testing.T) {
+	planted := subspace.New(0, 2)
+	ds := plantedDataset(t, 51, 90, 4, planted)
+	m, err := NewMiner(ds, Config{K: 4, TQuantile: 0.97, SampleSize: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := m.ScanAll(ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("scan found nothing")
+	}
+	// The planted point (index 0) must be among the hits.
+	found := false
+	for _, h := range hits {
+		if h.Index == 0 {
+			found = true
+			if len(h.Minimal) == 0 || h.OutlyingCount == 0 {
+				t.Fatalf("hit 0 has empty results: %+v", h)
+			}
+			if h.FullSpaceOD <= 0 {
+				t.Fatalf("hit 0 severity: %v", h.FullSpaceOD)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted point missing from %d hits", len(hits))
+	}
+	// Default order: ascending index.
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Index >= hits[i].Index {
+			t.Fatal("hits not in index order")
+		}
+	}
+}
+
+func TestScanAllSeverityOrderAndLimit(t *testing.T) {
+	planted := subspace.New(1)
+	ds := plantedDataset(t, 53, 90, 4, planted)
+	m, err := NewMiner(ds, Config{K: 4, TQuantile: 0.9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := m.ScanAll(ScanOptions{SortBySeverity: true, MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > 3 {
+		t.Fatalf("limit ignored: %d hits", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].FullSpaceOD < hits[i].FullSpaceOD {
+			t.Fatal("hits not by descending severity")
+		}
+	}
+	// The single extreme planted point must rank first.
+	if len(hits) > 0 && hits[0].Index != 0 {
+		t.Fatalf("most severe hit = %d, want 0", hits[0].Index)
+	}
+}
+
+func TestScanAllValidation(t *testing.T) {
+	ds := plantedDataset(t, 55, 40, 3, subspace.New(0))
+	m, _ := NewMiner(ds, Config{K: 3, TQuantile: 0.9, Seed: 1})
+	if _, err := m.ScanAll(ScanOptions{MaxResults: -1}); err == nil {
+		t.Fatal("negative MaxResults accepted")
+	}
+}
+
+func TestScanAllHugeThresholdEmpty(t *testing.T) {
+	ds := plantedDataset(t, 57, 40, 3, subspace.New(0))
+	m, _ := NewMiner(ds, Config{K: 3, T: 1e15, Seed: 1})
+	hits, err := m.ScanAll(ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("huge threshold produced %d hits", len(hits))
+	}
+}
+
+func TestScanAllParallelMatchesSequential(t *testing.T) {
+	planted := subspace.New(0, 2)
+	ds := plantedDataset(t, 61, 150, 4, planted)
+	m, err := NewMiner(ds, Config{K: 4, TQuantile: 0.95, SampleSize: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.ScanAll(ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		par, err := m.ScanAllParallel(ScanOptions{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d hits vs %d sequential", workers, len(par), len(seq))
+		}
+		for i := range par {
+			if par[i].Index != seq[i].Index ||
+				par[i].OutlyingCount != seq[i].OutlyingCount ||
+				par[i].FullSpaceOD != seq[i].FullSpaceOD ||
+				!masksEqual(par[i].Minimal, seq[i].Minimal) {
+				t.Fatalf("workers=%d hit %d differs:\n par %+v\n seq %+v",
+					workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestScanAllParallelXTreeBackend(t *testing.T) {
+	planted := subspace.New(1)
+	ds := plantedDataset(t, 63, 200, 4, planted)
+	m, err := NewMiner(ds, Config{K: 4, T: 8, Backend: BackendXTree, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := m.ScanAllParallel(ScanOptions{SortBySeverity: true, MaxResults: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.ScanAll(ScanOptions{SortBySeverity: true, MaxResults: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d vs sequential %d", len(par), len(seq))
+	}
+	for i := range par {
+		if par[i].Index != seq[i].Index {
+			t.Fatalf("hit %d: %d vs %d", i, par[i].Index, seq[i].Index)
+		}
+	}
+}
+
+func TestScanAllParallelValidation(t *testing.T) {
+	ds := plantedDataset(t, 65, 40, 3, subspace.New(0))
+	m, _ := NewMiner(ds, Config{K: 3, TQuantile: 0.9, Seed: 1})
+	if _, err := m.ScanAllParallel(ScanOptions{MaxResults: -1}, 2); err == nil {
+		t.Fatal("negative MaxResults accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lattice"
+	"repro/internal/od"
+	"repro/internal/subspace"
+)
+
+// Policy selects the layer-ordering strategy of the dynamic subspace
+// search. PolicyTSF is the paper's algorithm; the others are the
+// ablation baselines used by experiment F8.
+type Policy uint8
+
+const (
+	// PolicyTSF explores, at every step, the layer with the highest
+	// Total Saving Factor (§3.3).
+	PolicyTSF Policy = iota
+	// PolicyBottomUp sweeps layers 1..d (Apriori-style).
+	PolicyBottomUp
+	// PolicyTopDown sweeps layers d..1.
+	PolicyTopDown
+	// PolicyRandom picks a uniformly random unexplored layer each
+	// step.
+	PolicyRandom
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTSF:
+		return "tsf"
+	case PolicyBottomUp:
+		return "bottom-up"
+	case PolicyTopDown:
+		return "top-down"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p is a defined policy.
+func (p Policy) Valid() bool { return p <= PolicyRandom }
+
+// SearchResult is the outcome of one dynamic subspace search.
+type SearchResult struct {
+	// Outlying is every subspace in which the query point is an
+	// outlier (evaluated or implied by upward pruning), canonically
+	// sorted.
+	Outlying []subspace.Mask
+	// Minimal is Outlying after the §3.4 refinement filter: only the
+	// lowest-dimensional outlying subspaces, no returned subspace a
+	// superset of another.
+	Minimal []subspace.Mask
+	// Counters is the lattice work accounting (evaluations vs
+	// pruning-implied settlements).
+	Counters lattice.Counters
+	// LayerOrder records the sequence of layers the search explored.
+	LayerOrder []int
+	// PerLayerOutlierFrac[m] is the fraction of m-dimensional
+	// subspaces found outlying — the quantity the learning process
+	// aggregates into priors.
+	PerLayerOutlierFrac []float64
+}
+
+// Search runs the dynamic subspace search for one query against the
+// given cached OD oracle.
+//
+//	q       cached OD oracle for the query point
+//	d       dimensionality of the full space
+//	T       the paper's global distance threshold
+//	priors  pruning probabilities (uniform for sample points, learned
+//	        for query points)
+//	policy  layer ordering (PolicyTSF for HOS-Miner proper)
+//	rng     used only by PolicyRandom (may be nil otherwise)
+func Search(q *od.Query, d int, T float64, priors Priors, policy Policy, rng *rand.Rand) (*SearchResult, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	if !policy.Valid() {
+		return nil, fmt.Errorf("core: invalid policy %v", policy)
+	}
+	if policy == PolicyRandom && rng == nil {
+		return nil, fmt.Errorf("core: PolicyRandom requires an rng")
+	}
+	if err := priors.Validate(); err != nil {
+		return nil, err
+	}
+	if priors.Dim() != d {
+		return nil, fmt.Errorf("core: priors built for d=%d, search dimensionality %d", priors.Dim(), d)
+	}
+	tr, err := lattice.NewTracker(d)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SearchResult{}
+	for !tr.Done() {
+		m, ok := nextLayer(tr, priors, policy, rng)
+		if !ok {
+			break // defensive: cannot happen while !Done
+		}
+		res.LayerOrder = append(res.LayerOrder, m)
+		tr.EachUnknownInLayer(m, func(s subspace.Mask) bool {
+			if q.OD(s) >= T {
+				tr.MarkOutlier(s, true)
+			} else {
+				tr.MarkNonOutlier(s, true)
+			}
+			return true
+		})
+	}
+
+	res.Outlying = tr.Outliers()
+	res.Minimal = MinimalSubspaces(res.Outlying)
+	res.Counters = tr.Counters()
+	res.PerLayerOutlierFrac = make([]float64, d+1)
+	for m := 1; m <= d; m++ {
+		res.PerLayerOutlierFrac[m] = float64(tr.OutlierCountInLayer(m)) / float64(subspace.Binomial(d, m))
+	}
+	return res, nil
+}
+
+// newDeterministicRng derives a per-worker RNG so concurrent scans
+// stay reproducible for a given (seed, worker) pair.
+func newDeterministicRng(seed, worker int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + worker))
+}
+
+// nextLayer picks the next lattice layer to explore.
+func nextLayer(tr *lattice.Tracker, priors Priors, policy Policy, rng *rand.Rand) (int, bool) {
+	switch policy {
+	case PolicyTSF:
+		return BestLayer(tr, priors)
+	case PolicyBottomUp:
+		for m := 1; m <= tr.Dim(); m++ {
+			if tr.UnknownInLayer(m) > 0 {
+				return m, true
+			}
+		}
+	case PolicyTopDown:
+		for m := tr.Dim(); m >= 1; m-- {
+			if tr.UnknownInLayer(m) > 0 {
+				return m, true
+			}
+		}
+	case PolicyRandom:
+		var candidates []int
+		for m := 1; m <= tr.Dim(); m++ {
+			if tr.UnknownInLayer(m) > 0 {
+				candidates = append(candidates, m)
+			}
+		}
+		if len(candidates) > 0 {
+			return candidates[rng.Intn(len(candidates))], true
+		}
+	}
+	return 0, false
+}
+
+// PriorsFromResult extracts the per-sample pruning statistics of §3.2
+// from a finished search: PUp[m] is the fraction of m-dimensional
+// subspaces in which the point was outlying, PDown[m] the complement.
+func PriorsFromResult(res *SearchResult) Priors {
+	d := len(res.PerLayerOutlierFrac) - 1
+	p := Priors{PUp: make([]float64, d+1), PDown: make([]float64, d+1)}
+	for m := 1; m <= d; m++ {
+		p.PUp[m] = res.PerLayerOutlierFrac[m]
+		p.PDown[m] = 1 - res.PerLayerOutlierFrac[m]
+	}
+	return p
+}

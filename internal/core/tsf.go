@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/subspace"
+)
+
+// TSF computes the Total Saving Factor of lattice layer m for the
+// current search state (Definition 3):
+//
+//	m = 1:       p_up·f_up·USF(m)
+//	1 < m < d:   p_down·f_down·DSF(m) + p_up·f_up·USF(m)
+//	m = d:       p_down·f_down·DSF(m)
+//
+// where f_down(m) = Cdown_left(m)/Cdown(m) and f_up(m) =
+// Cup_left(m)/Cup(m) are the fractions of the below/above workload
+// still unsettled (taken live from the tracker), and the p's come from
+// the priors. A zero denominator (no workload exists on that side)
+// contributes 0.
+func TSF(m int, tr *lattice.Tracker, priors Priors) float64 {
+	d := tr.Dim()
+	if m < 1 || m > d {
+		return 0
+	}
+	down := func() float64 {
+		total := subspace.WorkloadBelow(m, d)
+		if total == 0 {
+			return 0
+		}
+		fDown := float64(tr.CdownLeft(m)) / float64(total)
+		return priors.PDown[m] * fDown * float64(subspace.DSF(m))
+	}
+	up := func() float64 {
+		total := subspace.WorkloadAbove(m, d)
+		if total == 0 {
+			return 0
+		}
+		fUp := float64(tr.CupLeft(m)) / float64(total)
+		return priors.PUp[m] * fUp * float64(subspace.USF(m, d))
+	}
+	switch {
+	case d == 1:
+		return 0
+	case m == 1:
+		return up()
+	case m == d:
+		return down()
+	default:
+		return down() + up()
+	}
+}
+
+// BestLayer returns the layer with unknown subspaces that maximises
+// TSF, breaking ties toward the lower dimensionality (deterministic,
+// and lower layers are cheaper to evaluate since k-NN over fewer
+// dimensions costs less). The second return is false when no layer has
+// unknown subspaces.
+func BestLayer(tr *lattice.Tracker, priors Priors) (int, bool) {
+	best, bestVal, found := 0, -1.0, false
+	for m := 1; m <= tr.Dim(); m++ {
+		if tr.UnknownInLayer(m) == 0 {
+			continue
+		}
+		v := TSF(m, tr, priors)
+		if !found || v > bestVal {
+			best, bestVal, found = m, v, true
+		}
+	}
+	return best, found
+}

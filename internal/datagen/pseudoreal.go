@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vector"
+)
+
+// The demo paper promises "real-life datasets"; offline we substitute
+// generators that mimic the structure of the motivating applications
+// in §1 (athlete training programs, medical systems) plus the NBA-
+// style season-statistics table used by the authors' journal version.
+// Each generator produces correlated, mixed-scale attributes with a
+// few planted deviants whose deviating attribute subsets are recorded
+// as ground truth — the property that makes them usable for
+// effectiveness experiments.
+
+// Athlete generates a training-performance table: n athletes with
+// attributes {sprint100m, enduranceKm, strengthKg, jumpCm,
+// recoveryHrs, techniqueScore}. Attributes correlate through a latent
+// "fitness" factor. numDeviants athletes are planted who deviate in a
+// specific 1–2 attribute subset (e.g. unusually poor endurance for
+// their fitness), mirroring the paper's "identify the specific
+// weakness (subspace) of an athlete" scenario.
+func Athlete(n, numDeviants int, seed int64) (*vector.Dataset, GroundTruth, error) {
+	const d = 6
+	if err := checkPseudoRealArgs(n, numDeviants); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		fitness := rng.NormFloat64() // latent factor
+		rows[i] = []float64{
+			11.5 - 0.6*fitness + rng.NormFloat64()*0.15, // 100m sprint (s), lower is better
+			8 + 2.5*fitness + rng.NormFloat64()*0.6,     // endurance run (km)
+			90 + 18*fitness + rng.NormFloat64()*5,       // strength (kg)
+			55 + 9*fitness + rng.NormFloat64()*2.5,      // vertical jump (cm)
+			30 - 4*fitness + rng.NormFloat64()*2,        // recovery (hrs), lower is better
+			6 + 1.2*fitness + rng.NormFloat64()*0.5,     // technique score
+		}
+	}
+	truth := plantDeviants(rng, rows, numDeviants, d, []float64{3, 12, 80, 40, 25, 6})
+	ds, err := vector.FromRows(rows)
+	if err != nil {
+		return nil, GroundTruth{}, err
+	}
+	if err := ds.SetColumns([]string{"sprint100m", "enduranceKm", "strengthKg", "jumpCm", "recoveryHrs", "technique"}); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	return ds, truth, nil
+}
+
+// Medical generates a lab-results table: {sysBP, diaBP, glucose,
+// cholesterol, heartRate, bmi, creatinine, hemoglobin}. Attributes
+// correlate through a latent metabolic factor; planted patients are
+// abnormal in a small lab subset — the paper's "identify the
+// subspaces in which a particular patient is found abnormal".
+func Medical(n, numDeviants int, seed int64) (*vector.Dataset, GroundTruth, error) {
+	const d = 8
+	if err := checkPseudoRealArgs(n, numDeviants); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		metab := rng.NormFloat64()
+		rows[i] = []float64{
+			120 + 9*metab + rng.NormFloat64()*6,       // systolic BP
+			78 + 6*metab + rng.NormFloat64()*4,        // diastolic BP
+			95 + 11*metab + rng.NormFloat64()*7,       // glucose
+			190 + 22*metab + rng.NormFloat64()*14,     // cholesterol
+			70 + 5*metab + rng.NormFloat64()*5,        // heart rate
+			24 + 2.6*metab + rng.NormFloat64()*1.4,    // BMI
+			0.95 + 0.1*metab + rng.NormFloat64()*0.08, // creatinine
+			14 - 0.7*metab + rng.NormFloat64()*0.7,    // hemoglobin
+		}
+	}
+	truth := plantDeviants(rng, rows, numDeviants, d,
+		[]float64{70, 45, 90, 130, 60, 16, 1.2, 6})
+	ds, err := vector.FromRows(rows)
+	if err != nil {
+		return nil, GroundTruth{}, err
+	}
+	if err := ds.SetColumns([]string{"sysBP", "diaBP", "glucose", "cholesterol", "heartRate", "bmi", "creatinine", "hemoglobin"}); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	return ds, truth, nil
+}
+
+// NBA generates a season-statistics table: {pointsPG, reboundsPG,
+// assistsPG, stealsPG, blocksPG, minutesPG, fgPct}. Player archetypes
+// (guard/forward/centre) create multi-cluster structure; planted
+// players have anomalous stat combinations.
+func NBA(n, numDeviants int, seed int64) (*vector.Dataset, GroundTruth, error) {
+	const d = 7
+	if err := checkPseudoRealArgs(n, numDeviants); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// archetype means: guard, forward, centre
+	archetypes := [][]float64{
+		{16, 3.5, 7, 1.6, 0.3, 32, 0.44},
+		{14, 7.0, 2.5, 1.0, 0.8, 30, 0.47},
+		{11, 10.5, 1.5, 0.6, 1.8, 27, 0.55},
+	}
+	spread := []float64{4, 1.5, 1.2, 0.4, 0.35, 4, 0.03}
+	rows := make([][]float64, n)
+	for i := range rows {
+		a := archetypes[rng.Intn(len(archetypes))]
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = a[j] + rng.NormFloat64()*spread[j]
+		}
+	}
+	truth := plantDeviants(rng, rows, numDeviants, d,
+		[]float64{25, 9, 8, 2.5, 2.2, 20, 0.2})
+	ds, err := vector.FromRows(rows)
+	if err != nil {
+		return nil, GroundTruth{}, err
+	}
+	if err := ds.SetColumns([]string{"ptsPG", "rebPG", "astPG", "stlPG", "blkPG", "minPG", "fgPct"}); err != nil {
+		return nil, GroundTruth{}, err
+	}
+	return ds, truth, nil
+}
+
+func checkPseudoRealArgs(n, numDeviants int) error {
+	if n < 10 {
+		return fmt.Errorf("datagen: n = %d too small", n)
+	}
+	if numDeviants < 0 || numDeviants >= n/2 {
+		return fmt.Errorf("datagen: numDeviants = %d out of [0,%d)", numDeviants, n/2)
+	}
+	return nil
+}
+
+// plantDeviants displaces the first numDeviants rows in a random 1–2
+// attribute subset by the per-attribute displacement amounts and
+// records the ground truth.
+func plantDeviants(rng *rand.Rand, rows [][]float64, numDeviants, d int, displacement []float64) GroundTruth {
+	var truth GroundTruth
+	for i := 0; i < numDeviants; i++ {
+		card := 1 + rng.Intn(2)
+		mask := randomMask(rng, d, card)
+		mask.EachDim(func(dim int) {
+			sign := 1.0
+			if rng.Float64() < 0.5 {
+				sign = -1
+			}
+			rows[i][dim] += sign * displacement[dim]
+		})
+		truth.Outliers = append(truth.Outliers, PlantedOutlier{Index: i, Subspace: mask})
+	}
+	return truth
+}

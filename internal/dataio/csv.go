@@ -1,0 +1,131 @@
+// Package dataio loads and saves datasets as CSV so the CLIs can
+// exchange data with external tools. The format is plain numeric CSV
+// with an optional header row of column names.
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/vector"
+)
+
+// WriteCSV writes the dataset to w. When header is true, column names
+// (or dimN defaults) form the first row.
+func WriteCSV(w io.Writer, ds *vector.Dataset, header bool) error {
+	if ds == nil {
+		return fmt.Errorf("dataio: nil dataset")
+	}
+	cw := csv.NewWriter(w)
+	if header {
+		cols := make([]string, ds.Dim())
+		for j := range cols {
+			cols[j] = ds.ColumnName(j)
+		}
+		if err := cw.Write(cols); err != nil {
+			return err
+		}
+	}
+	row := make([]string, ds.Dim())
+	for i := 0; i < ds.N(); i++ {
+		p := ds.Point(i)
+		for j, v := range p {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a numeric CSV into a Dataset. A first row whose
+// cells are not all numeric is treated as a header and becomes the
+// column names.
+func ReadCSV(r io.Reader) (*vector.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate shape ourselves for better errors
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataio: empty CSV")
+	}
+
+	var cols []string
+	start := 0
+	if !allNumeric(records[0]) {
+		cols = records[0]
+		start = 1
+	}
+	if start >= len(records) {
+		return nil, fmt.Errorf("dataio: CSV has a header but no data rows")
+	}
+	d := len(records[start])
+	if d == 0 {
+		return nil, fmt.Errorf("dataio: row %d has no fields", start+1)
+	}
+	rows := make([][]float64, 0, len(records)-start)
+	for i := start; i < len(records); i++ {
+		rec := records[i]
+		if len(rec) != d {
+			return nil, fmt.Errorf("dataio: row %d has %d fields, want %d", i+1, len(rec), d)
+		}
+		row := make([]float64, d)
+		for j, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: row %d col %d: %w", i+1, j+1, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	ds, err := vector.FromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	if cols != nil {
+		if err := ds.SetColumns(cols); err != nil {
+			return nil, fmt.Errorf("dataio: %w", err)
+		}
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to path (with header).
+func SaveFile(path string, ds *vector.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, ds, true); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a CSV file.
+func LoadFile(path string) (*vector.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+func allNumeric(cells []string) bool {
+	for _, c := range cells {
+		if _, err := strconv.ParseFloat(c, 64); err != nil {
+			return false
+		}
+	}
+	return len(cells) > 0
+}

@@ -1,0 +1,106 @@
+package dataio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+func TestRoundTripWithHeader(t *testing.T) {
+	ds, _ := vector.FromRows([][]float64{{1.5, -2}, {0, 1e-9}, {math.MaxFloat64, 3}})
+	if err := ds.SetColumns([]string{"alpha", "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.Dim() != 2 {
+		t.Fatalf("shape (%d,%d)", back.N(), back.Dim())
+	}
+	if back.ColumnName(0) != "alpha" || back.ColumnName(1) != "beta" {
+		t.Fatalf("columns = %v", back.Columns())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if back.Point(i)[j] != ds.Point(i)[j] {
+				t.Fatalf("value (%d,%d): %v != %v", i, j, back.Point(i)[j], ds.Point(i)[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripNoHeader(t *testing.T) {
+	ds, _ := vector.FromRows([][]float64{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 || back.Columns() != nil {
+		t.Fatalf("shape/cols: %d %v", back.N(), back.Columns())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only":  "a,b\n",
+		"ragged":       "1,2\n3\n",
+		"non-numeric":  "1,2\n3,x\n",
+		"ragged first": "a,b\n1,2,3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadCSVHeaderDetection(t *testing.T) {
+	// All-numeric first row is data, not header.
+	ds, err := ReadCSV(strings.NewReader("1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 {
+		t.Fatalf("numeric first row should be data: N = %d", ds.N())
+	}
+}
+
+func TestWriteCSVNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil, true); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	ds, _ := vector.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err := SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 || back.Dim() != 3 {
+		t.Fatalf("shape (%d,%d)", back.N(), back.Dim())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package evolutionary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+)
+
+// TestCrossoverRepairInvariant (property): children of crossover
+// always carry exactly TargetDim constrained dimensions with range
+// values in [1, phi], regardless of parent composition.
+func TestCrossoverRepairInvariant(t *testing.T) {
+	ds, err := datagen.GenerateUniform(60, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGrid(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		s, err := NewSearcher(grid, Config{Phi: 6, TargetDim: 3, Population: 8, Generations: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			a := s.randomIndividual()
+			b := s.randomIndividual()
+			// Corrupt one parent to over/under-constrained shapes to
+			// stress repair.
+			if rng.Intn(2) == 0 {
+				for j := range a {
+					a[j] = uint8(1 + rng.Intn(6))
+				}
+			} else {
+				for j := range b {
+					b[j] = Wildcard
+				}
+			}
+			child := s.crossover(a, b)
+			if child.Constrained() != 3 {
+				return false
+			}
+			for _, v := range child {
+				if v != Wildcard && (v < 1 || v > 6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutatePreservesCardinality (property): mutation never changes
+// the number of constrained dimensions.
+func TestMutatePreservesCardinality(t *testing.T) {
+	ds, _ := datagen.GenerateUniform(60, 10, 5)
+	grid, _ := NewGrid(ds, 5)
+	f := func(seed int64) bool {
+		s, err := NewSearcher(grid, Config{Phi: 5, TargetDim: 4, Population: 8, Generations: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ind := s.randomIndividual()
+		for trial := 0; trial < 30; trial++ {
+			s.mutate(ind)
+			if ind.Constrained() != 4 {
+				return false
+			}
+			for _, v := range ind {
+				if v != Wildcard && (v < 1 || v > 5) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparsityMonotoneInCount (property): for a fixed constrained
+// cardinality, the sparsity coefficient is strictly increasing in the
+// cell count — the GA's fitness ordering matches "emptier is
+// sparser".
+func TestSparsityMonotoneInCount(t *testing.T) {
+	ds, _ := datagen.GenerateUniform(500, 4, 7)
+	grid, _ := NewGrid(ds, 10)
+	f := func(c1Raw, c2Raw uint16, mRaw uint8) bool {
+		m := 1 + int(mRaw%4)
+		c1, c2 := int(c1Raw%500), int(c2Raw%500)
+		s1 := grid.SparsityFromCount(c1, m)
+		s2 := grid.SparsityFromCount(c2, m)
+		switch {
+		case c1 < c2:
+			return s1 < s2
+		case c1 > c2:
+			return s1 > s2
+		default:
+			return s1 == s2
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBestSetKeepsKSparsest: offering more individuals than capacity
+// retains exactly the k smallest fitness values.
+func TestBestSetKeepsKSparsest(t *testing.T) {
+	b := newBestSet(3)
+	fits := []float64{5, -2, 0, -7, 3, -2.5, 9}
+	for i, fit := range fits {
+		ind := Individual{uint8(i + 1), Wildcard}
+		b.offer(ind, fit)
+	}
+	got := b.sorted()
+	if len(got) != 3 {
+		t.Fatalf("kept %d", len(got))
+	}
+	want := []float64{-7, -2.5, -2}
+	for i := range got {
+		if got[i].fit != want[i] {
+			t.Fatalf("kept fits %v, want %v", got, want)
+		}
+	}
+	// Duplicate offers are ignored.
+	b.offer(Individual{4, Wildcard}, -7)
+	if len(b.sorted()) != 3 {
+		t.Fatal("duplicate changed the set")
+	}
+}

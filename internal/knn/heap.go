@@ -1,0 +1,103 @@
+package knn
+
+import "sort"
+
+// BoundedHeap keeps the k smallest (distance, index) pairs seen so
+// far. It is a hand-rolled binary max-heap on distance (ties: larger
+// index nearer the top, so the kept set is deterministic), avoiding
+// container/heap's interface overhead in the innermost loop of every
+// OD evaluation.
+type BoundedHeap struct {
+	k     int
+	items []Neighbor // max-heap by (Dist, Index)
+}
+
+// NewBoundedHeap creates a heap retaining the k nearest items.
+func NewBoundedHeap(k int) *BoundedHeap {
+	return &BoundedHeap{k: k, items: make([]Neighbor, 0, k)}
+}
+
+// less orders the heap: a dominates b (sits closer to the top) when a
+// is farther, or equally far with a larger index.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Index > b.Index
+}
+
+// Push offers a candidate. It is kept only if the heap is not yet full
+// or the candidate beats the current worst.
+func (h *BoundedHeap) Push(index int, dist float64) {
+	nb := Neighbor{Index: index, Dist: dist}
+	if len(h.items) < h.k {
+		h.items = append(h.items, nb)
+		h.siftUp(len(h.items) - 1)
+		return
+	}
+	if !worse(h.items[0], nb) {
+		return // candidate is no better than the current worst
+	}
+	h.items[0] = nb
+	h.siftDown(0)
+}
+
+// Full reports whether k items are held.
+func (h *BoundedHeap) Full() bool { return len(h.items) >= h.k }
+
+// Len returns the number of items currently held.
+func (h *BoundedHeap) Len() int { return len(h.items) }
+
+// WorstDist returns the largest retained distance, or +Inf semantics
+// via ok=false when the heap is not yet full (any candidate would be
+// accepted).
+func (h *BoundedHeap) WorstDist() (float64, bool) {
+	if len(h.items) < h.k {
+		return 0, false
+	}
+	return h.items[0].Dist, true
+}
+
+// Sorted drains the heap into a slice sorted by ascending distance,
+// ties by ascending index. The heap must not be reused afterwards.
+func (h *BoundedHeap) Sorted() []Neighbor {
+	out := h.items
+	h.items = nil
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+func (h *BoundedHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *BoundedHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && worse(h.items[l], h.items[largest]) {
+			largest = l
+		}
+		if r < n && worse(h.items[r], h.items[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}

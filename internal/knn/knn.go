@@ -1,0 +1,122 @@
+// Package knn provides k-nearest-neighbour search over a Dataset
+// restricted to an arbitrary subspace, the primitive underlying the
+// paper's Outlying Degree (§2). Two engines implement the Searcher
+// interface: the exhaustive LinearSearcher here and the X-tree-backed
+// searcher in internal/xtree.
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+// Neighbor is one k-NN result: a dataset point index with its distance
+// to the query in the search subspace.
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+// Searcher finds the k nearest dataset points to a query within a
+// subspace. Implementations must:
+//   - exclude the dataset point with index == exclude (pass -1 to keep
+//     all points; used so a query that is itself a dataset point is not
+//     its own neighbour);
+//   - return results sorted by ascending distance, ties broken by
+//     ascending index;
+//   - return fewer than k neighbours only when the dataset (after
+//     exclusion) has fewer than k points.
+type Searcher interface {
+	KNN(query []float64, s subspace.Mask, k int, exclude int) []Neighbor
+	// Stats returns cumulative work counters since construction (or
+	// the last ResetStats).
+	Stats() SearchStats
+	// ResetStats zeroes the work counters.
+	ResetStats()
+}
+
+// SearchStats counts the work a Searcher has performed. PointsExamined
+// is the number of point-to-query distance computations;
+// NodesVisited is index-structure specific (0 for a linear scan).
+type SearchStats struct {
+	Queries        int64
+	PointsExamined int64
+	NodesVisited   int64
+}
+
+// Add accumulates other into s.
+func (s *SearchStats) Add(other SearchStats) {
+	s.Queries += other.Queries
+	s.PointsExamined += other.PointsExamined
+	s.NodesVisited += other.NodesVisited
+}
+
+// LinearSearcher scans the entire dataset for every query. It is the
+// correctness oracle for index-backed searchers and the fastest choice
+// for small datasets.
+type LinearSearcher struct {
+	ds     *vector.Dataset
+	metric vector.Metric
+	stats  SearchStats
+}
+
+// NewLinear creates a LinearSearcher over ds using the given metric.
+func NewLinear(ds *vector.Dataset, metric vector.Metric) (*LinearSearcher, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("knn: nil dataset")
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("knn: invalid metric %v", metric)
+	}
+	return &LinearSearcher{ds: ds, metric: metric}, nil
+}
+
+// KNN implements Searcher by exhaustive scan with a bounded max-heap.
+func (l *LinearSearcher) KNN(query []float64, s subspace.Mask, k int, exclude int) []Neighbor {
+	l.stats.Queries++
+	if k <= 0 || s.IsEmpty() {
+		return nil
+	}
+	h := NewBoundedHeap(k)
+	n := l.ds.N()
+	useSq := l.metric == vector.L2
+	for i := 0; i < n; i++ {
+		if i == exclude {
+			continue
+		}
+		l.stats.PointsExamined++
+		var d float64
+		if useSq {
+			d = vector.SqDistL2(s, query, l.ds.Point(i))
+		} else {
+			d = vector.Dist(l.metric, s, query, l.ds.Point(i))
+		}
+		h.Push(i, d)
+	}
+	res := h.Sorted()
+	if useSq {
+		for i := range res {
+			res[i].Dist = math.Sqrt(res[i].Dist)
+		}
+	}
+	return res
+}
+
+// Stats implements Searcher.
+func (l *LinearSearcher) Stats() SearchStats { return l.stats }
+
+// ResetStats implements Searcher.
+func (l *LinearSearcher) ResetStats() { l.stats = SearchStats{} }
+
+// SumDistances returns Σ Dist over the neighbours — the Outlying
+// Degree aggregation from §2.
+func SumDistances(neighbors []Neighbor) float64 {
+	var sum float64
+	for _, nb := range neighbors {
+		sum += nb.Dist
+	}
+	return sum
+}

@@ -1,0 +1,304 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+func makeDataset(t *testing.T, rows [][]float64) *vector.Dataset {
+	t.Helper()
+	ds, err := vector.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := NewLinear(nil, vector.L2); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	ds := makeDataset(t, [][]float64{{1}})
+	if _, err := NewLinear(ds, vector.Metric(9)); err == nil {
+		t.Fatal("invalid metric accepted")
+	}
+}
+
+func TestKNNSimple(t *testing.T) {
+	ds := makeDataset(t, [][]float64{
+		{0, 0}, {1, 0}, {2, 0}, {10, 0}, {0, 100},
+	})
+	ls, _ := NewLinear(ds, vector.L2)
+	// In subspace [0], neighbours of (0,?) are ordered 0,1,2,3 by x.
+	nbs := ls.KNN([]float64{0, 0}, subspace.New(0), 3, -1)
+	wantIdx := []int{0, 4, 1} // x distances: 0 (pt0), 0 (pt4), 1 (pt1)
+	if len(nbs) != 3 {
+		t.Fatalf("got %d neighbours", len(nbs))
+	}
+	for i, nb := range nbs {
+		if nb.Index != wantIdx[i] {
+			t.Fatalf("neighbour %d = %+v, want index %d", i, nb, wantIdx[i])
+		}
+	}
+	// ties broken by ascending index: pt0 before pt4 at distance 0
+	if nbs[0].Index != 0 || nbs[1].Index != 4 {
+		t.Fatal("tie-break order wrong")
+	}
+}
+
+func TestKNNExcludesSelf(t *testing.T) {
+	ds := makeDataset(t, [][]float64{{0}, {1}, {2}})
+	ls, _ := NewLinear(ds, vector.L2)
+	nbs := ls.KNN(ds.Point(0), subspace.New(0), 2, 0)
+	for _, nb := range nbs {
+		if nb.Index == 0 {
+			t.Fatal("excluded point returned")
+		}
+	}
+	if len(nbs) != 2 || nbs[0].Index != 1 || nbs[1].Index != 2 {
+		t.Fatalf("nbs = %+v", nbs)
+	}
+}
+
+func TestKNNFewerThanK(t *testing.T) {
+	ds := makeDataset(t, [][]float64{{0}, {1}})
+	ls, _ := NewLinear(ds, vector.L2)
+	nbs := ls.KNN([]float64{0}, subspace.New(0), 10, 1)
+	if len(nbs) != 1 {
+		t.Fatalf("got %d, want 1 (dataset minus exclusion)", len(nbs))
+	}
+}
+
+func TestKNNDegenerateArgs(t *testing.T) {
+	ds := makeDataset(t, [][]float64{{0}, {1}})
+	ls, _ := NewLinear(ds, vector.L2)
+	if nbs := ls.KNN([]float64{0}, subspace.New(0), 0, -1); nbs != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if nbs := ls.KNN([]float64{0}, subspace.Empty, 2, -1); nbs != nil {
+		t.Fatal("empty subspace should return nil")
+	}
+}
+
+func TestKNNSubspaceSensitivity(t *testing.T) {
+	// Point p is far in dim 0, close in dim 1.
+	ds := makeDataset(t, [][]float64{
+		{0, 0}, {0.1, 0.1}, {0.2, 0}, {100, 0.05},
+	})
+	ls, _ := NewLinear(ds, vector.L2)
+	q := ds.Point(3)
+	inDim0 := ls.KNN(q, subspace.New(0), 1, 3)
+	inDim1 := ls.KNN(q, subspace.New(1), 1, 3)
+	if inDim0[0].Dist < 99 {
+		t.Fatalf("dim0 nearest = %v, should be far", inDim0[0])
+	}
+	if inDim1[0].Dist > 0.06 {
+		t.Fatalf("dim1 nearest = %v, should be near", inDim1[0])
+	}
+}
+
+func TestKNNAllMetrics(t *testing.T) {
+	ds := makeDataset(t, [][]float64{{0, 0}, {3, 4}, {1, 1}})
+	for _, m := range []vector.Metric{vector.L2, vector.L1, vector.LInf} {
+		ls, _ := NewLinear(ds, m)
+		nbs := ls.KNN([]float64{0, 0}, subspace.New(0, 1), 2, 0)
+		if len(nbs) != 2 || nbs[0].Index != 2 {
+			t.Fatalf("%v: nbs = %+v", m, nbs)
+		}
+		want := map[vector.Metric]float64{vector.L2: 5, vector.L1: 7, vector.LInf: 4}[m]
+		if math.Abs(nbs[1].Dist-want) > 1e-12 {
+			t.Fatalf("%v: dist = %v, want %v", m, nbs[1].Dist, want)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	ds := makeDataset(t, [][]float64{{0}, {1}, {2}, {3}})
+	ls, _ := NewLinear(ds, vector.L2)
+	ls.KNN([]float64{0}, subspace.New(0), 2, -1)
+	ls.KNN([]float64{0}, subspace.New(0), 2, 1)
+	st := ls.Stats()
+	if st.Queries != 2 {
+		t.Fatalf("queries = %d", st.Queries)
+	}
+	if st.PointsExamined != 4+3 {
+		t.Fatalf("points examined = %d, want 7", st.PointsExamined)
+	}
+	ls.ResetStats()
+	if ls.Stats() != (SearchStats{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := SearchStats{Queries: 1, PointsExamined: 2, NodesVisited: 3}
+	b := SearchStats{Queries: 10, PointsExamined: 20, NodesVisited: 30}
+	a.Add(b)
+	if a != (SearchStats{Queries: 11, PointsExamined: 22, NodesVisited: 33}) {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+func TestSumDistances(t *testing.T) {
+	if got := SumDistances(nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	nbs := []Neighbor{{0, 1.5}, {1, 2.5}}
+	if got := SumDistances(nbs); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+// referenceKNN computes k-NN by full sort — the oracle.
+func referenceKNN(ds *vector.Dataset, m vector.Metric, q []float64, s subspace.Mask, k, exclude int) []Neighbor {
+	var all []Neighbor
+	for i := 0; i < ds.N(); i++ {
+		if i == exclude {
+			continue
+		}
+		all = append(all, Neighbor{Index: i, Dist: vector.Dist(m, s, q, ds.Point(i))})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Index < all[j].Index
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TestKNNMatchesReference (property): heap-based scan equals full-sort
+// reference on random data for all metrics and random subspaces.
+func TestKNNMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 30+rng.Intn(40), 1+rng.Intn(6)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		ds, err := vector.FromRows(rows)
+		if err != nil {
+			return false
+		}
+		metric := []vector.Metric{vector.L2, vector.L1, vector.LInf}[rng.Intn(3)]
+		ls, err := NewLinear(ds, metric)
+		if err != nil {
+			return false
+		}
+		s := subspace.Mask(rng.Uint32()) & subspace.Full(d)
+		if s.IsEmpty() {
+			s = subspace.Full(d)
+		}
+		k := 1 + rng.Intn(8)
+		exclude := rng.Intn(n)
+		q := ds.Point(rng.Intn(n))
+		got := ls.KNN(q, s, k, exclude)
+		want := referenceKNN(ds, metric, q, s, k, exclude)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Index != want[i].Index || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedHeapBasics(t *testing.T) {
+	h := NewBoundedHeap(3)
+	if h.Full() {
+		t.Fatal("empty heap full")
+	}
+	if _, ok := h.WorstDist(); ok {
+		t.Fatal("WorstDist on non-full heap")
+	}
+	for i, d := range []float64{5, 1, 3, 2, 4} {
+		h.Push(i, d)
+	}
+	if !h.Full() || h.Len() != 3 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if w, ok := h.WorstDist(); !ok || w != 3 {
+		t.Fatalf("worst = %v, %v", w, ok)
+	}
+	out := h.Sorted()
+	wantD := []float64{1, 2, 3}
+	for i := range out {
+		if out[i].Dist != wantD[i] {
+			t.Fatalf("sorted = %+v", out)
+		}
+	}
+}
+
+func TestBoundedHeapTieBreak(t *testing.T) {
+	// With k=2 and three zero-distance candidates, the two smallest
+	// indices must be retained.
+	h := NewBoundedHeap(2)
+	h.Push(7, 0)
+	h.Push(3, 0)
+	h.Push(5, 0)
+	out := h.Sorted()
+	if out[0].Index != 3 || out[1].Index != 5 {
+		t.Fatalf("tie-break kept %+v", out)
+	}
+}
+
+func TestBoundedHeapPropertyKSmallest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		k := 1 + rng.Intn(12)
+		dists := make([]float64, n)
+		h := NewBoundedHeap(k)
+		for i := range dists {
+			dists[i] = math.Floor(rng.Float64()*100) / 10 // coarse → ties
+			h.Push(i, dists[i])
+		}
+		got := h.Sorted()
+		// oracle
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if dists[idx[a]] != dists[idx[b]] {
+				return dists[idx[a]] < dists[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		want := idx
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Index != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

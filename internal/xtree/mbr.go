@@ -1,0 +1,207 @@
+// Package xtree implements the X-tree of Berchtold, Keim and Kriegel
+// (VLDB 1996), the index HOS-Miner uses to "facilitate k-NN search in
+// every subspace" (§3). The X-tree extends the R*-tree with an
+// overlap-minimal split derived from the split history and with
+// supernodes — directory nodes of unbounded capacity created when no
+// good split exists — which keeps the directory overlap low in high
+// dimensions.
+//
+// Subspace queries need no per-subspace index: the minimum distance
+// between a query and a bounding rectangle restricted to a dimension
+// subset is still a lower bound of the true point distance in that
+// subset, so one full-dimensional X-tree serves best-first k-NN in
+// every subspace.
+package xtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+// MBR is a minimum bounding rectangle in d dimensions.
+type MBR struct {
+	Min []float64
+	Max []float64
+}
+
+// NewMBR returns a degenerate MBR covering exactly the given point.
+func NewMBR(p []float64) MBR {
+	lo := append([]float64(nil), p...)
+	hi := append([]float64(nil), p...)
+	return MBR{Min: lo, Max: hi}
+}
+
+// EmptyMBR returns an inverted MBR that acts as the identity for
+// Extend/Union.
+func EmptyMBR(d int) MBR {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	return MBR{Min: lo, Max: hi}
+}
+
+// Dim returns the dimensionality of the rectangle.
+func (r MBR) Dim() int { return len(r.Min) }
+
+// IsEmpty reports whether the MBR is inverted (covers nothing).
+func (r MBR) IsEmpty() bool { return len(r.Min) == 0 || r.Min[0] > r.Max[0] }
+
+// Clone returns a deep copy.
+func (r MBR) Clone() MBR {
+	return MBR{
+		Min: append([]float64(nil), r.Min...),
+		Max: append([]float64(nil), r.Max...),
+	}
+}
+
+// ExtendPoint grows the MBR in place to cover p.
+func (r *MBR) ExtendPoint(p []float64) {
+	for i, v := range p {
+		if v < r.Min[i] {
+			r.Min[i] = v
+		}
+		if v > r.Max[i] {
+			r.Max[i] = v
+		}
+	}
+}
+
+// Extend grows the MBR in place to cover other.
+func (r *MBR) Extend(other MBR) {
+	for i := range r.Min {
+		if other.Min[i] < r.Min[i] {
+			r.Min[i] = other.Min[i]
+		}
+		if other.Max[i] > r.Max[i] {
+			r.Max[i] = other.Max[i]
+		}
+	}
+}
+
+// Union returns the smallest MBR covering both inputs.
+func Union(a, b MBR) MBR {
+	u := a.Clone()
+	u.Extend(b)
+	return u
+}
+
+// ContainsPoint reports whether p lies inside the rectangle
+// (inclusive).
+func (r MBR) ContainsPoint(p []float64) bool {
+	for i, v := range p {
+		if v < r.Min[i] || v > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether other lies entirely inside r.
+func (r MBR) Contains(other MBR) bool {
+	for i := range r.Min {
+		if other.Min[i] < r.Min[i] || other.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the d-dimensional volume. Degenerate extents contribute
+// factor 0.
+func (r MBR) Area() float64 {
+	area := 1.0
+	for i := range r.Min {
+		area *= r.Max[i] - r.Min[i]
+	}
+	return area
+}
+
+// Margin returns the sum of edge lengths (the R*-tree margin
+// criterion, up to the constant 2^(d-1) factor).
+func (r MBR) Margin() float64 {
+	var m float64
+	for i := range r.Min {
+		m += r.Max[i] - r.Min[i]
+	}
+	return m
+}
+
+// Overlap returns the volume of the intersection of a and b (0 when
+// disjoint).
+func Overlap(a, b MBR) float64 {
+	v := 1.0
+	for i := range a.Min {
+		lo := math.Max(a.Min[i], b.Min[i])
+		hi := math.Min(a.Max[i], b.Max[i])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Enlargement returns how much r's area grows when extended to cover
+// other.
+func Enlargement(r, other MBR) float64 {
+	return Union(r, other).Area() - r.Area()
+}
+
+// MinDist returns the minimum distance from point q to any point of
+// the rectangle, restricted to the dimensions of s, under metric m.
+// It is the classical MINDIST lower bound used to order best-first
+// traversal.
+func (r MBR) MinDist(m vector.Metric, s subspace.Mask, q []float64) float64 {
+	switch m {
+	case vector.L2:
+		var sum float64
+		s.EachDim(func(d int) {
+			diff := axisGap(q[d], r.Min[d], r.Max[d])
+			sum += diff * diff
+		})
+		return math.Sqrt(sum)
+	case vector.L1:
+		var sum float64
+		s.EachDim(func(d int) {
+			sum += axisGap(q[d], r.Min[d], r.Max[d])
+		})
+		return sum
+	case vector.LInf:
+		var max float64
+		s.EachDim(func(d int) {
+			if diff := axisGap(q[d], r.Min[d], r.Max[d]); diff > max {
+				max = diff
+			}
+		})
+		return max
+	default:
+		panic(fmt.Sprintf("xtree: unknown metric %v", m))
+	}
+}
+
+// MinDistSqL2 is MinDist for L2 without the final square root
+// (order-equivalent, cheaper).
+func (r MBR) MinDistSqL2(s subspace.Mask, q []float64) float64 {
+	var sum float64
+	s.EachDim(func(d int) {
+		diff := axisGap(q[d], r.Min[d], r.Max[d])
+		sum += diff * diff
+	})
+	return sum
+}
+
+func axisGap(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}

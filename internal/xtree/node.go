@@ -1,0 +1,71 @@
+package xtree
+
+import "repro/internal/subspace"
+
+// node is an X-tree node. Leaf nodes hold dataset point indices;
+// directory nodes hold child nodes. A node whose entry count exceeds
+// the configured capacity is a supernode: the X-tree keeps it as a
+// single enlarged node because every available split would have
+// produced highly overlapping or unbalanced halves.
+type node struct {
+	mbr      MBR
+	parent   *node
+	children []*node // directory nodes
+	points   []int   // leaf nodes: dataset indices
+	leaf     bool
+
+	// splitHistory records the dimensions along which this node's
+	// subtree has been split (the X-tree split history, flattened to a
+	// dimension set). The overlap-minimal split may only use a
+	// dimension contained in the split history of *every* child, which
+	// guarantees the children can be partitioned without overlap along
+	// it.
+	splitHistory subspace.Mask
+
+	// super marks nodes allowed to exceed capacity.
+	super bool
+}
+
+// entryCount returns the number of entries (points for leaves,
+// children for directories).
+func (n *node) entryCount() int {
+	if n.leaf {
+		return len(n.points)
+	}
+	return len(n.children)
+}
+
+// isSupernode reports whether n currently exceeds the normal capacity.
+func (n *node) isSupernode(capacity int) bool {
+	return n.super && n.entryCount() > capacity
+}
+
+// recomputeMBR rebuilds the node's MBR from its entries. pointOf maps
+// a dataset index to coordinates.
+func (n *node) recomputeMBR(dim int, pointOf func(int) []float64) {
+	m := EmptyMBR(dim)
+	if n.leaf {
+		for _, idx := range n.points {
+			m.ExtendPoint(pointOf(idx))
+		}
+	} else {
+		for _, c := range n.children {
+			m.Extend(c.mbr)
+		}
+	}
+	n.mbr = m
+}
+
+// depth returns the height of the subtree rooted at n (leaf = 1).
+func (n *node) depth() int {
+	if n.leaf {
+		return 1
+	}
+	max := 0
+	for _, c := range n.children {
+		if d := c.depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,155 @@
+package xtree
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/knn"
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+// Searcher adapts a Tree to the knn.Searcher interface with best-first
+// (Hjaltason–Samet) traversal: nodes are expanded in order of MINDIST
+// to the query within the search subspace, and traversal stops as soon
+// as the k-th nearest candidate is closer than the nearest unexpanded
+// node.
+type Searcher struct {
+	tree  *Tree
+	stats knn.SearchStats
+}
+
+// NewSearcher wraps t in a knn.Searcher.
+func NewSearcher(t *Tree) *Searcher { return &Searcher{tree: t} }
+
+// queueItem is a pending tree node in the best-first frontier.
+type queueItem struct {
+	node    *node
+	minDist float64
+}
+
+type nodeQueue []queueItem
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].minDist < q[j].minDist }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(queueItem)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// KNN implements knn.Searcher.
+func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) []knn.Neighbor {
+	s.stats.Queries++
+	if k <= 0 || sub.IsEmpty() || s.tree.size == 0 {
+		return nil
+	}
+	t := s.tree
+	useSq := t.metric == vector.L2
+	nodeDist := func(n *node) float64 {
+		if useSq {
+			return n.mbr.MinDistSqL2(sub, query)
+		}
+		return n.mbr.MinDist(t.metric, sub, query)
+	}
+	pointDist := func(i int) float64 {
+		if useSq {
+			return vector.SqDistL2(sub, query, t.ds.Point(i))
+		}
+		return vector.Dist(t.metric, sub, query, t.ds.Point(i))
+	}
+
+	best := knn.NewBoundedHeap(k)
+	pq := &nodeQueue{{node: t.root, minDist: nodeDist(t.root)}}
+	heap.Init(pq)
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(queueItem)
+		if w, full := best.WorstDist(); full && item.minDist > w {
+			break // nothing closer remains
+		}
+		n := item.node
+		s.stats.NodesVisited++
+		if n.leaf {
+			for _, idx := range n.points {
+				if idx == exclude {
+					continue
+				}
+				s.stats.PointsExamined++
+				d := pointDist(idx)
+				best.Push(idx, d)
+			}
+			continue
+		}
+		for _, c := range n.children {
+			md := nodeDist(c)
+			if w, full := best.WorstDist(); full && md > w {
+				continue
+			}
+			heap.Push(pq, queueItem{node: c, minDist: md})
+		}
+	}
+
+	res := best.Sorted()
+	if useSq {
+		for i := range res {
+			res[i].Dist = math.Sqrt(res[i].Dist)
+		}
+	}
+	return res
+}
+
+// Range returns the indices of all points within radius r of the
+// query in subspace sub (excluding index exclude), in ascending index
+// order.
+func (s *Searcher) Range(query []float64, sub subspace.Mask, r float64, exclude int) []int {
+	s.stats.Queries++
+	if sub.IsEmpty() || r < 0 {
+		return nil
+	}
+	t := s.tree
+	var out []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.stats.NodesVisited++
+		if n.leaf {
+			for _, idx := range n.points {
+				if idx == exclude {
+					continue
+				}
+				s.stats.PointsExamined++
+				if vector.Dist(t.metric, sub, query, t.ds.Point(idx)) <= r {
+					out = append(out, idx)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c.mbr.MinDist(t.metric, sub, query) <= r {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	// Indices accumulate in leaf order; normalise to ascending.
+	insertionSortInts(out)
+	return out
+}
+
+// Stats implements knn.Searcher.
+func (s *Searcher) Stats() knn.SearchStats { return s.stats }
+
+// ResetStats implements knn.Searcher.
+func (s *Searcher) ResetStats() { s.stats = knn.SearchStats{} }
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

