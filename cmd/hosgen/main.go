@@ -8,7 +8,8 @@
 //	       -out data.csv -truth truth.csv
 //
 // The truth file maps each planted outlier's row index to its true
-// outlying subspace, e.g. "0,[2,7]".
+// outlying subspace, e.g. "0,[2,7]". Generated CSVs feed hosminer
+// (one-shot queries) and hosserve (the HTTP query service) directly.
 package main
 
 import (
@@ -34,6 +35,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hosgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "hosgen — generate HOS-Miner datasets (synthetic / uniform / pseudo-real) as CSV.")
+		fmt.Fprintln(stderr, "See also: hosminer (one-shot queries), hosbench (experiments), hosserve (HTTP query service).")
+		fmt.Fprintln(stderr, "Flags:")
+		fs.PrintDefaults()
+	}
 	var (
 		typ       = fs.String("type", "synthetic", "dataset type: synthetic|uniform|athlete|medical|nba")
 		n         = fs.Int("n", 1000, "number of points")
@@ -84,22 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func generate(typ string, n, d, outliers, subDim, clusters int, seed int64) (*vector.Dataset, datagen.GroundTruth, error) {
-	switch typ {
-	case "synthetic":
-		return datagen.GenerateSynthetic(datagen.SyntheticConfig{
-			N: n, D: d, NumOutliers: outliers, OutlierSubspaceDim: subDim,
-			Clusters: clusters, Seed: seed,
-		})
-	case "uniform":
-		ds, err := datagen.GenerateUniform(n, d, seed)
-		return ds, datagen.GroundTruth{}, err
-	case "athlete":
-		return datagen.Athlete(n, outliers, seed)
-	case "medical":
-		return datagen.Medical(n, outliers, seed)
-	case "nba":
-		return datagen.NBA(n, outliers, seed)
-	default:
-		return nil, datagen.GroundTruth{}, fmt.Errorf("unknown dataset type %q", typ)
-	}
+	return datagen.ByName(typ, datagen.NamedConfig{
+		N: n, D: d, Planted: outliers, SubspaceDim: subDim, Clusters: clusters, Seed: seed,
+	})
 }

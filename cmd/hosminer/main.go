@@ -12,7 +12,9 @@
 //	hosminer -data data.csv -k 5 -tq 0.99 -scan -top 10
 //
 // Output lists the minimal outlying subspaces with resolved column
-// names, plus search-cost accounting.
+// names, plus search-cost accounting. For a long-lived process that
+// preprocesses once and answers many concurrent queries over HTTP,
+// use hosserve instead.
 package main
 
 import (
@@ -40,6 +42,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hosminer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "hosminer — one-shot outlying-subspace queries and scans over a CSV dataset.")
+		fmt.Fprintln(stderr, "See also: hosgen (datasets), hosbench (experiments), hosserve (HTTP query service).")
+		fmt.Fprintln(stderr, "Flags:")
+		fs.PrintDefaults()
+	}
 	var (
 		dataPath  = fs.String("data", "", "CSV dataset path (required)")
 		k         = fs.Int("k", 5, "neighbourhood size of the OD measure")
@@ -86,14 +94,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// validation with a placeholder.
 		cfg.T = 1
 	}
-	if cfg.SampleSize > ds.N() {
-		cfg.SampleSize = ds.N() / 2
-	}
-	cfg.Backend, err = parseBackend(*backend)
+	cfg.ClampSampleSize(ds.N())
+	cfg.Backend, err = core.ParseBackend(*backend)
 	if err != nil {
 		return err
 	}
-	cfg.Policy, err = parsePolicy(*policy)
+	cfg.Policy, err = core.ParsePolicy(*policy)
 	if err != nil {
 		return err
 	}
@@ -171,34 +177,6 @@ func runScan(w io.Writer, ds *vector.Dataset, m *core.Miner, top int) error {
 			h.Index, h.FullSpaceOD, h.OutlyingCount, strings.Join(subs, "; "))
 	}
 	return nil
-}
-
-func parseBackend(s string) (core.Backend, error) {
-	switch s {
-	case "auto":
-		return core.BackendAuto, nil
-	case "linear":
-		return core.BackendLinear, nil
-	case "xtree":
-		return core.BackendXTree, nil
-	default:
-		return 0, fmt.Errorf("unknown backend %q", s)
-	}
-}
-
-func parsePolicy(s string) (core.Policy, error) {
-	switch s {
-	case "tsf":
-		return core.PolicyTSF, nil
-	case "bottomup":
-		return core.PolicyBottomUp, nil
-	case "topdown":
-		return core.PolicyTopDown, nil
-	case "random":
-		return core.PolicyRandom, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
-	}
 }
 
 func parsePoint(s string, d int) ([]float64, error) {

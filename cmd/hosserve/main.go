@@ -1,0 +1,256 @@
+// Command hosserve exposes HOS-Miner as a long-lived HTTP/JSON
+// service: load a dataset once, preprocess once (X-tree indexing,
+// threshold resolution, §3.2 learning — or import a saved state), and
+// answer concurrent outlying-subspace queries until shut down.
+//
+// Usage:
+//
+//	hosserve -data data.csv -k 5 -tq 0.95 -addr :8080
+//	hosserve -gen synthetic -n 2000 -d 8 -k 5 -tq 0.95
+//	hosserve -gen nba -n 500 -k 6 -tq 0.97 -load-state state.json
+//
+// Endpoints (see README.md for a curl transcript):
+//
+//	POST /query    {"index": 3} or {"point": [..], "include_all": true}
+//	POST /scan     {"max_results": 10, "sort_by_severity": true}
+//	GET  /state    export preprocessed state (threshold + priors)
+//	GET  /healthz  liveness + dataset summary
+//	GET  /stats    query counts, cache hits, latency percentiles
+//
+// The process drains in-flight requests and exits cleanly on SIGINT /
+// SIGTERM. See also the batch front-ends: hosminer (one-shot queries),
+// hosgen (dataset generation) and hosbench (experiment tables).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+	"repro/internal/server"
+	"repro/internal/vector"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hosserve:", err)
+		os.Exit(1)
+	}
+}
+
+// cliConfig is everything run parses out of the flags.
+type cliConfig struct {
+	addr string
+
+	dataPath  string
+	gen       string
+	n, d      int
+	outliers  int
+	deviants  int
+	normalize bool
+
+	miner     core.Config
+	loadState string
+	saveState string
+
+	srv server.Options
+}
+
+// run is the testable entry point: parse flags, build the service,
+// then serve until the context delivered by SIGINT/SIGTERM ends.
+func run(args []string, stdout, stderr io.Writer) error {
+	cc, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	srv, ds, m, err := setup(cc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dataset: %d points x %d dims; T = %.4g; backend = %s\n",
+		ds.N(), ds.Dim(), m.Threshold(), m.Config().Backend)
+	if cc.saveState != "" {
+		if err := m.SaveStateFile(cc.saveState); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved state to %s\n", cc.saveState)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, cc.addr, srv.Handler(), stdout)
+}
+
+// parseFlags builds a cliConfig from the argument list.
+func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
+	fs := flag.NewFlagSet("hosserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "hosserve — serve concurrent outlying-subspace queries over HTTP/JSON.")
+		fmt.Fprintln(stderr, "Endpoints: POST /query, POST /scan, GET /state, GET /healthz, GET /stats (see README.md).")
+		fmt.Fprintln(stderr, "See also: hosminer (one-shot queries), hosgen (datasets), hosbench (experiments).")
+		fmt.Fprintln(stderr, "Flags:")
+		fs.PrintDefaults()
+	}
+	var cc cliConfig
+	var backend, policy string
+	fs.StringVar(&cc.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cc.dataPath, "data", "", "CSV dataset path (use -data or -gen)")
+	fs.StringVar(&cc.gen, "gen", "", "generate the dataset instead: synthetic|uniform|athlete|medical|nba")
+	fs.IntVar(&cc.n, "n", 1000, "with -gen: number of points")
+	fs.IntVar(&cc.d, "d", 8, "with -gen synthetic|uniform: dimensionality")
+	fs.IntVar(&cc.outliers, "outliers", 5, "with -gen synthetic: planted outliers")
+	fs.IntVar(&cc.deviants, "deviants", 5, "with -gen athlete|medical|nba: planted deviants")
+	fs.BoolVar(&cc.normalize, "normalize", false, "min-max normalize columns before mining")
+	fs.IntVar(&cc.miner.K, "k", 5, "neighbourhood size of the OD measure")
+	fs.Float64Var(&cc.miner.T, "t", 0, "absolute OD threshold T (use -t or -tq)")
+	fs.Float64Var(&cc.miner.TQuantile, "tq", 0, "threshold as a quantile of full-space ODs, e.g. 0.95")
+	fs.IntVar(&cc.miner.SampleSize, "samples", 0, "sample size for the learning phase (0 = uniform priors)")
+	fs.Int64Var(&cc.miner.Seed, "seed", 1, "random seed (generation and mining)")
+	fs.StringVar(&backend, "backend", "auto", "k-NN backend: auto|linear|xtree")
+	fs.StringVar(&policy, "policy", "tsf", "search order: tsf|bottomup|topdown|random")
+	fs.StringVar(&cc.loadState, "load-state", "", "import preprocessed state (threshold+priors) from this JSON file, skipping learning")
+	fs.StringVar(&cc.saveState, "save-state", "", "after preprocessing, save state to this JSON file")
+	fs.IntVar(&cc.srv.CacheSize, "cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
+	fs.DurationVar(&cc.srv.QueryTimeout, "query-timeout", 0, "per-query deadline (default 10s)")
+	fs.DurationVar(&cc.srv.ScanTimeout, "scan-timeout", 0, "per-scan deadline (default 2m)")
+	fs.Int64Var(&cc.srv.MaxBodyBytes, "max-body", 0, "request body limit in bytes (default 1 MiB)")
+	fs.IntVar(&cc.srv.ScanWorkers, "scan-workers", 0, "scan worker pool size (default GOMAXPROCS)")
+	fs.IntVar(&cc.srv.MaxScanResults, "max-scan-results", 0, "cap on hits per /scan (default 1000)")
+	fs.IntVar(&cc.srv.MaxConcurrentQueries, "max-queries", 0, "cap on concurrently computing queries (default 4x GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	var err error
+	if cc.miner.Backend, err = core.ParseBackend(backend); err != nil {
+		return nil, err
+	}
+	if cc.miner.Policy, err = core.ParsePolicy(policy); err != nil {
+		return nil, err
+	}
+	return &cc, nil
+}
+
+// setup loads or generates the dataset, builds and preprocesses the
+// miner (or imports state), and wraps it in a server.
+func setup(cc *cliConfig) (*server.Server, *vector.Dataset, *core.Miner, error) {
+	ds, err := loadDataset(cc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cc.normalize {
+		norm, stats := ds.MinMaxNormalize()
+		if ds.Columns() != nil {
+			if err := norm.SetColumns(ds.Columns()); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		ds = norm
+		// Ad-hoc /query points arrive in raw units; rescale them the
+		// same way the dataset was, or every client vector would look
+		// maximally distant from the [0,1]-scaled data.
+		cc.srv.PointTransform = func(p []float64) []float64 {
+			out := make([]float64, len(p))
+			for j, v := range p {
+				if span := stats[j].Max - stats[j].Min; span > 0 {
+					out[j] = (v - stats[j].Min) / span
+				}
+			}
+			return out
+		}
+	}
+	cfg := cc.miner
+	if cc.loadState != "" {
+		if cfg.T != 0 || cfg.TQuantile != 0 || cfg.SampleSize != 0 {
+			// The loaded state supplies threshold and priors; silently
+			// ignoring explicit flags would mislead the operator.
+			return nil, nil, nil, fmt.Errorf("-load-state conflicts with -t/-tq/-samples (the state file supplies threshold and priors)")
+		}
+		// Satisfy config validation with a placeholder; ImportState
+		// installs the real threshold.
+		cfg.T = 1
+	}
+	cfg.ClampSampleSize(ds.N())
+	m, err := core.NewMiner(ds, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cc.loadState != "" {
+		if err := m.LoadStateFile(cc.loadState); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	srv, err := server.New(m, cc.srv) // runs Preprocess when state was not imported
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return srv, ds, m, nil
+}
+
+func loadDataset(cc *cliConfig) (*vector.Dataset, error) {
+	switch {
+	case cc.dataPath != "" && cc.gen != "":
+		return nil, fmt.Errorf("use either -data or -gen, not both")
+	case cc.dataPath != "":
+		return dataio.LoadFile(cc.dataPath)
+	case cc.gen != "":
+		ds, _, err := generate(cc)
+		return ds, err
+	default:
+		return nil, fmt.Errorf("provide a dataset: -data file.csv or -gen synthetic|uniform|athlete|medical|nba")
+	}
+}
+
+func generate(cc *cliConfig) (*vector.Dataset, datagen.GroundTruth, error) {
+	planted := cc.outliers
+	if cc.gen != "synthetic" {
+		planted = cc.deviants
+	}
+	return datagen.ByName(cc.gen, datagen.NamedConfig{
+		N: cc.n, D: cc.d, Planted: planted, Seed: cc.miner.Seed,
+	})
+}
+
+// serve listens on addr and blocks until ctx is cancelled, then
+// drains in-flight requests (bounded) before returning.
+func serve(ctx context.Context, addr string, handler http.Handler, stdout io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "serving on %s\n", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "bye")
+	return nil
+}

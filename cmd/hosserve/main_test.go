@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dataio"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{
+		N: 120, D: 4, NumOutliers: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := dataio.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func setupFromArgs(t *testing.T, args ...string) http.Handler {
+	t.Helper()
+	var errBuf bytes.Buffer
+	cc, err := parseFlags(args, &errBuf)
+	if err != nil {
+		t.Fatalf("parseFlags: %v (%s)", err, errBuf.String())
+	}
+	srv, _, _, err := setup(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv.Handler()
+}
+
+func TestSetupFromCSV(t *testing.T) {
+	h := setupFromArgs(t, "-data", writeFixture(t), "-k", "4", "-tq", "0.95")
+	req := httptest.NewRequest("POST", "/query", strings.NewReader(`{"index": 0}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp["minimal"]; !ok {
+		t.Fatalf("response missing minimal: %s", rec.Body.String())
+	}
+}
+
+func TestSetupFromGenerators(t *testing.T) {
+	for _, gen := range []string{"synthetic", "uniform", "athlete", "medical", "nba"} {
+		h := setupFromArgs(t, "-gen", gen, "-n", "150", "-d", "4", "-k", "4", "-tq", "0.95")
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: healthz status %d", gen, rec.Code)
+		}
+	}
+}
+
+func TestSetupStateRoundTrip(t *testing.T) {
+	path := writeFixture(t)
+	state := filepath.Join(t.TempDir(), "state.json")
+	var errBuf bytes.Buffer
+	cc, err := parseFlags([]string{"-data", path, "-k", "4", "-tq", "0.95"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, m, err := setup(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveStateFile(state); err != nil {
+		t.Fatal(err)
+	}
+	// A second server imports the state instead of re-learning; no -t
+	// or -tq needed.
+	h := setupFromArgs(t, "-data", path, "-k", "4", "-load-state", state)
+	req := httptest.NewRequest("GET", "/state", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("state after import: status %d", rec.Code)
+	}
+	if m2Threshold := rec.Body.String(); !strings.Contains(m2Threshold, "threshold") {
+		t.Fatalf("state body: %s", m2Threshold)
+	}
+}
+
+func TestNormalizeRescalesAdHocPoints(t *testing.T) {
+	path := writeFixture(t)
+	h := setupFromArgs(t, "-data", path, "-k", "4", "-tq", "0.95", "-normalize")
+	// A raw-unit copy of a non-planted dataset row: with the transform
+	// in place it lands exactly on that row (distance 0 to its nearest
+	// neighbour), so it must NOT be an outlier in every subspace. The
+	// planted outliers occupy the low indexes; row 50 is an inlier.
+	ds, err := dataio.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(map[string]any{"point": ds.Point(50), "include_all": true})
+	req := httptest.NewRequest("POST", "/query", bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		IsOutlier     bool `json:"is_outlier"`
+		OutlyingCount int  `json:"outlying_count"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Without rescaling, a raw point against [0,1]-scaled data is an
+	// outlier in all 2^d−1 subspaces.
+	if resp.OutlyingCount == 15 {
+		t.Fatal("raw-unit point evaluated unscaled against normalized data")
+	}
+}
+
+func TestLoadStateRejectsConflictingFlags(t *testing.T) {
+	path := writeFixture(t)
+	state := filepath.Join(t.TempDir(), "state.json")
+	var errBuf bytes.Buffer
+	cc, err := parseFlags([]string{"-data", path, "-k", "4", "-tq", "0.95"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, m, err := setup(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveStateFile(state); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-tq", "0.99"},
+		{"-t", "3"},
+		{"-samples", "10"},
+	} {
+		args := append([]string{"-data", path, "-k", "4", "-load-state", state}, extra...)
+		cc, err := parseFlags(args, &errBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := setup(cc); err == nil || !strings.Contains(err.Error(), "conflicts") {
+			t.Errorf("args %v: want conflict error, got %v", extra, err)
+		}
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	fixture := writeFixture(t)
+	cases := [][]string{
+		{},                                      // no dataset source
+		{"-data", "missing.csv"},                // unreadable file
+		{"-gen", "nope"},                        // unknown generator
+		{"-data", fixture, "-gen", "synthetic"}, // both sources
+		{"-data", fixture},                      // no threshold
+		{"-data", fixture, "-k", "0", "-tq", "0.9"}, // invalid K
+	}
+	for _, args := range cases {
+		var errBuf bytes.Buffer
+		cc, err := parseFlags(args, &errBuf)
+		if err != nil {
+			continue // flag-level rejection is fine too
+		}
+		if _, _, _, err := setup(cc); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestParseFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-backend", "nope"},
+		{"-policy", "nope"},
+		{"-bogus"},
+	} {
+		var errBuf bytes.Buffer
+		if _, err := parseFlags(args, &errBuf); err == nil {
+			t.Errorf("args %v: expected flag error", args)
+		}
+	}
+}
+
+func TestHelpMentionsService(t *testing.T) {
+	var errBuf bytes.Buffer
+	_, _ = parseFlags([]string{"-h"}, &errBuf)
+	for _, want := range []string{"-addr", "-cache", "-query-timeout"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Fatalf("usage missing %q:\n%s", want, errBuf.String())
+		}
+	}
+}
+
+// lockedBuffer makes the serve goroutine's progress output safe to
+// poll from the test goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeGracefulShutdown boots the real listener on an ephemeral
+// port, makes one request, then cancels the context and expects a
+// clean drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	h := setupFromArgs(t, "-gen", "synthetic", "-n", "150", "-d", "4", "-k", "4", "-tq", "0.95")
+	ctx, cancel := context.WithCancel(context.Background())
+	var out lockedBuffer
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, "127.0.0.1:0", h, &out) }()
+
+	// Wait for the listener line to learn the port.
+	deadline := time.Now().Add(5 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "serving on ") {
+			line := s[strings.Index(s, "serving on ")+len("serving on "):]
+			addr = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never reported its address: %q", out.String())
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over TCP: %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+	if !strings.Contains(out.String(), "bye") {
+		t.Fatalf("missing shutdown message: %q", out.String())
+	}
+}

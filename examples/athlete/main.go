@@ -10,6 +10,10 @@
 // combinations.
 //
 // Run: go run ./examples/athlete
+//
+// To serve the same queries to many clients over HTTP — with a
+// result cache and live stats — use the hosserve service instead:
+// go run ./cmd/hosserve (see README.md).
 package main
 
 import (

@@ -9,6 +9,10 @@
 // account of what each method reports and what it costs.
 //
 // Run: go run ./examples/comparison
+//
+// To serve the same queries to many clients over HTTP — with a
+// result cache and live stats — use the hosserve service instead:
+// go run ./cmd/hosserve (see README.md).
 package main
 
 import (

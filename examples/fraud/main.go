@@ -12,6 +12,10 @@
 //     analyst acts on.
 //
 // Run: go run ./examples/fraud
+//
+// The online mode here is exactly what cmd/hosserve productionises:
+// POST each transaction vector to /query on a long-lived service
+// with a result cache and live stats (see README.md).
 package main
 
 import (

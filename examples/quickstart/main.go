@@ -3,6 +3,10 @@
 // subspaces — the library's core loop in ~40 lines.
 //
 // Run: go run ./examples/quickstart
+//
+// To serve the same queries to many clients over HTTP — with a
+// result cache and live stats — use the hosserve service instead:
+// go run ./cmd/hosserve (see README.md).
 package main
 
 import (

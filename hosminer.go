@@ -21,6 +21,10 @@
 //	m, _ := hosminer.New(ds, hosminer.Config{K: 5, TQuantile: 0.95, SampleSize: 20, Seed: 1})
 //	res, _ := m.OutlyingSubspacesOfPoint(truth.Outliers[0].Index)
 //	fmt.Println(res.Minimal) // e.g. [[2,5]]
+//
+// For serving: NewServer (and the hosserve command) wrap a
+// preprocessed Miner in a concurrent HTTP/JSON query service with a
+// result cache — see README.md and DESIGN.md §4.
 package hosminer
 
 import (
@@ -28,6 +32,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataio"
 	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/subspace"
 	"repro/internal/vector"
 )
@@ -166,6 +171,31 @@ const (
 	MatchSubset  = metrics.MatchSubset
 	MatchOverlap = metrics.MatchOverlap
 )
+
+// EvaluatorPool recycles per-goroutine OD evaluators for concurrent
+// querying; see Miner.QueryWith and the concurrency contract on
+// Miner.
+type EvaluatorPool = core.EvaluatorPool
+
+// ErrNotPreprocessed is returned by Miner.QueryWith before Preprocess
+// or ImportState has completed.
+var ErrNotPreprocessed = core.ErrNotPreprocessed
+
+// Server is the HTTP/JSON query service over one preprocessed Miner
+// (the library behind the hosserve command).
+type Server = server.Server
+
+// ServerOptions tunes NewServer (timeouts, body limit, cache size,
+// scan bounds); the zero value selects the documented defaults.
+type ServerOptions = server.Options
+
+// ServerStats is the counter snapshot served at GET /stats.
+type ServerStats = server.StatsSnapshot
+
+// NewServer wraps the Miner in the HTTP service, preprocessing it if
+// the caller has not. Serve the result with http.Server on
+// srv.Handler().
+func NewServer(m *Miner, opts ServerOptions) (*Server, error) { return server.New(m, opts) }
 
 // PRF bundles precision, recall and F1.
 type PRF = metrics.PRF

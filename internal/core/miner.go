@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/knn"
 	"repro/internal/od"
@@ -103,6 +104,18 @@ func (c *Config) validate(ds *vector.Dataset) error {
 // Miner is the HOS-Miner system: dataset + index + learned priors.
 // Construct with NewMiner, then call Preprocess once (indexing +
 // learning), then OutlyingSubspaces per query.
+//
+// Concurrency: a Miner is NOT safe for concurrent use through its
+// plain query methods — OutlyingSubspaces, OutlyingSubspacesOfPoint
+// and ScanAll share one od.Evaluator (whose k-NN searcher carries
+// mutable work counters) and one rand.Rand. After Preprocess (or
+// ImportState) has completed, all remaining Miner state — dataset,
+// X-tree, threshold, priors, configuration — is read-only, so any
+// number of goroutines may query concurrently PROVIDED each uses its
+// own evaluator: call QueryWith with an evaluator obtained from
+// NewWorkerEvaluator or an EvaluatorPool. ScanAllParallel follows the
+// same pattern internally. This is the contract internal/server is
+// built on.
 type Miner struct {
 	cfg  Config
 	ds   *vector.Dataset
@@ -117,6 +130,10 @@ type Miner struct {
 	rng          *rand.Rand
 
 	learnStats LearnStats
+
+	// querySeq numbers QueryWith calls so PolicyRandom stays
+	// deterministic per (seed, call) without sharing rng.
+	querySeq atomic.Int64
 }
 
 // LearnStats summarises the §3.2 learning phase.

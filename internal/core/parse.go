@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// ParseBackend parses the CLI spelling of a Backend ("auto",
+// "linear", "xtree") — the inverse of Backend.String.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "auto":
+		return BackendAuto, nil
+	case "linear":
+		return BackendLinear, nil
+	case "xtree":
+		return BackendXTree, nil
+	default:
+		return 0, fmt.Errorf("core: unknown backend %q (have auto|linear|xtree)", s)
+	}
+}
+
+// ClampSampleSize caps SampleSize for an n-point dataset, halving to
+// n/2 when the request exceeds n — the CLIs' shared lenient
+// alternative to the hard validation error NewMiner would raise.
+func (c *Config) ClampSampleSize(n int) {
+	if c.SampleSize > n {
+		c.SampleSize = n / 2
+	}
+}
+
+// ParsePolicy parses the CLI spelling of a Policy ("tsf", "bottomup",
+// "topdown", "random"). The hyphenated forms Policy.String emits
+// ("bottom-up", "top-down") are accepted too, so values read back
+// from /healthz or logs round-trip.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "tsf":
+		return PolicyTSF, nil
+	case "bottomup", "bottom-up":
+		return PolicyBottomUp, nil
+	case "topdown", "top-down":
+		return PolicyTopDown, nil
+	case "random":
+		return PolicyRandom, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q (have tsf|bottomup|topdown|random)", s)
+	}
+}

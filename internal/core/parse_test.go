@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, b := range []Backend{BackendAuto, BackendLinear, BackendXTree} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBackend(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBackend("warp"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	// Policy.String emits hyphenated forms; they must parse back.
+	for _, p := range []Policy{PolicyTSF, PolicyBottomUp, PolicyTopDown, PolicyRandom} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	// The CLI spellings too.
+	for s, want := range map[string]Policy{"bottomup": PolicyBottomUp, "topdown": PolicyTopDown} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sideways"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestClampSampleSize(t *testing.T) {
+	c := Config{SampleSize: 500}
+	c.ClampSampleSize(200)
+	if c.SampleSize != 100 {
+		t.Fatalf("clamped to %d, want 100", c.SampleSize)
+	}
+	c = Config{SampleSize: 50}
+	c.ClampSampleSize(200)
+	if c.SampleSize != 50 {
+		t.Fatalf("in-range SampleSize changed to %d", c.SampleSize)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -67,10 +68,24 @@ func (m *Miner) ScanAll(opts ScanOptions) ([]ScanHit, error) {
 // are identical to ScanAll (answers do not depend on evaluation
 // order); only wall-clock changes. workers ≤ 0 selects GOMAXPROCS.
 //
+// Unlike ScanAll, ScanAllParallel never touches the Miner's shared
+// evaluator or rng — even at workers = 1 it runs on private worker
+// state — so, post-Preprocess, any number of ScanAllParallel and
+// QueryWith calls may run concurrently.
+//
 // Note: PolicyRandom queries draw from per-worker deterministic RNGs,
 // so the *work* per query can differ from the sequential run; the
 // answer sets cannot.
 func (m *Miner) ScanAllParallel(opts ScanOptions, workers int) ([]ScanHit, error) {
+	return m.ScanAllParallelContext(context.Background(), opts, workers)
+}
+
+// ScanAllParallelContext is ScanAllParallel with cooperative
+// cancellation: workers check ctx between points and the scan returns
+// ctx.Err() promptly once it is cancelled — what lets a serving layer
+// reclaim the cores of an abandoned scan instead of finishing a sweep
+// nobody will read.
+func (m *Miner) ScanAllParallelContext(ctx context.Context, opts ScanOptions, workers int) ([]ScanHit, error) {
 	if err := m.Preprocess(); err != nil {
 		return nil, err
 	}
@@ -83,8 +98,8 @@ func (m *Miner) ScanAllParallel(opts ScanOptions, workers int) ([]ScanHit, error
 	if workers > m.ds.N() {
 		workers = m.ds.N()
 	}
-	if workers <= 1 {
-		return m.ScanAll(opts)
+	if workers < 1 {
+		workers = 1
 	}
 
 	d := m.ds.Dim()
@@ -103,6 +118,10 @@ func (m *Miner) ScanAllParallel(opts ScanOptions, workers int) ([]ScanHit, error
 			}
 			rng := newDeterministicRng(m.cfg.Seed, int64(worker))
 			for i := worker; i < m.ds.N(); i += workers {
+				if err := ctx.Err(); err != nil {
+					errs[worker] = err
+					return
+				}
 				q := eval.NewQueryForPoint(i)
 				res, err := Search(q, d, m.threshold, m.priors, m.cfg.Policy, rng)
 				if err != nil {

@@ -1,0 +1,52 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/vector"
+)
+
+// NamedConfig parameterises ByName, the string-keyed generator
+// dispatch shared by the CLIs (hosgen -type, hosserve -gen). Zero
+// values fall back to each generator's own defaults.
+type NamedConfig struct {
+	N int
+	// D applies to synthetic/uniform only; the pseudo-real generators
+	// have fixed schemas.
+	D int
+	// Planted is NumOutliers for synthetic and numDeviants for the
+	// pseudo-real generators; ignored by uniform.
+	Planted int
+	// SubspaceDim and Clusters apply to synthetic only.
+	SubspaceDim int
+	Clusters    int
+	Seed        int64
+}
+
+// GeneratorNames lists the names ByName accepts.
+func GeneratorNames() []string {
+	return []string{"synthetic", "uniform", "athlete", "medical", "nba"}
+}
+
+// ByName builds the named dataset. Uniform data has no ground truth;
+// the zero GroundTruth is returned for it.
+func ByName(name string, c NamedConfig) (*vector.Dataset, GroundTruth, error) {
+	switch name {
+	case "synthetic":
+		return GenerateSynthetic(SyntheticConfig{
+			N: c.N, D: c.D, NumOutliers: c.Planted,
+			OutlierSubspaceDim: c.SubspaceDim, Clusters: c.Clusters, Seed: c.Seed,
+		})
+	case "uniform":
+		ds, err := GenerateUniform(c.N, c.D, c.Seed)
+		return ds, GroundTruth{}, err
+	case "athlete":
+		return Athlete(c.N, c.Planted, c.Seed)
+	case "medical":
+		return Medical(c.N, c.Planted, c.Seed)
+	case "nba":
+		return NBA(c.N, c.Planted, c.Seed)
+	default:
+		return nil, GroundTruth{}, fmt.Errorf("datagen: unknown generator %q (have %v)", name, GeneratorNames())
+	}
+}

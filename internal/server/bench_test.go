@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func benchServer(b *testing.B, opts Options) *Server {
+	b.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{
+		N: 1000, D: 8, NumOutliers: 5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMiner(ds, core.Config{K: 5, TQuantile: 0.95, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(m, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkQueryCold always misses the cache (distinct points).
+func BenchmarkQueryCold(b *testing.B) {
+	s := benchServer(b, Options{})
+	h := s.Handler()
+	n := s.miner.Dataset().N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"index": %d}`, i%n)
+		req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkQueryCached hammers one hot key — the O(1) path repeated
+// identical queries take in production.
+func BenchmarkQueryCached(b *testing.B) {
+	s := benchServer(b, Options{})
+	h := s.Handler()
+	body := `{"index": 42}`
+	// Warm the entry.
+	req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkQueryParallel measures throughput with pooled evaluators
+// under GOMAXPROCS client goroutines over a working set larger than
+// trivially cacheable.
+func BenchmarkQueryParallel(b *testing.B) {
+	s := benchServer(b, Options{CacheSize: -1}) // isolate compute path
+	h := s.Handler()
+	n := s.miner.Dataset().N()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := fmt.Sprintf(`{"index": %d}`, i%n)
+			i++
+			req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}

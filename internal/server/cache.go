@@ -1,0 +1,98 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU over finished query responses.
+// The Miner's configuration (K, threshold, policy, metric…) is fixed
+// for the lifetime of a Server, so the key only has to identify the
+// query itself: the point's exact bit pattern plus the self-exclusion
+// index. Values are treated as immutable once inserted — handlers
+// copy the envelope before stamping per-request fields.
+type resultCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byKy map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val *queryResponse
+}
+
+// newResultCache returns a cache bounded to capacity entries, or nil
+// (caching disabled) when capacity ≤ 0.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:  capacity,
+		ll:   list.New(),
+		byKy: make(map[string]*list.Element, capacity),
+	}
+}
+
+// cacheKey serialises (point, exclude) into a compact string key.
+// Float64 bits are used verbatim, so +0/-0 and NaN payloads are
+// distinct keys — exactness over cleverness.
+func cacheKey(point []float64, exclude int) string {
+	buf := make([]byte, 8+8*len(point))
+	binary.LittleEndian.PutUint64(buf, uint64(int64(exclude)))
+	for i, v := range point {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	return string(buf)
+}
+
+// get returns the cached response for key, promoting it to most
+// recently used.
+func (c *resultCache) get(key string) (*queryResponse, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKy[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) put(key string, val *queryResponse) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKy[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.byKy[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKy, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

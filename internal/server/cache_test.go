@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	a, b, d := &queryResponse{}, &queryResponse{}, &queryResponse{}
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // promote a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("d", d) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if got, ok := c.get("a"); !ok || got != a {
+		t.Fatal("a evicted instead of b")
+	}
+	if got, ok := c.get("d"); !ok || got != d {
+		t.Fatal("d missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := newResultCache(2)
+	v1, v2 := &queryResponse{}, &queryResponse{}
+	c.put("k", v1)
+	c.put("k", v2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if got, _ := c.get("k"); got != v2 {
+		t.Fatal("refresh did not replace the value")
+	}
+}
+
+func TestCacheNilIsDisabled(t *testing.T) {
+	var c *resultCache
+	c.put("k", &queryResponse{})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("nil cache returned a value")
+	}
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if newResultCache(0) != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+}
+
+func TestCacheKeyDistinguishesExclude(t *testing.T) {
+	p := []float64{1.5, -2.25, 0}
+	if cacheKey(p, 3) == cacheKey(p, -1) {
+		t.Fatal("same key for dataset-row and external queries")
+	}
+	if cacheKey([]float64{1, 2}, -1) == cacheKey([]float64{2, 1}, -1) {
+		t.Fatal("key ignores coordinate order")
+	}
+	if cacheKey(p, 3) != cacheKey([]float64{1.5, -2.25, 0}, 3) {
+		t.Fatal("equal queries produced different keys")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%32)
+				c.put(k, &queryResponse{})
+				c.get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 16 {
+		t.Fatalf("len %d exceeds capacity", c.len())
+	}
+}

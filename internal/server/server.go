@@ -1,0 +1,575 @@
+// Package server wraps a preprocessed core.Miner in a concurrent
+// HTTP/JSON query service — the "preprocess once, query many" shape
+// HOS-Miner's expensive setup (threshold resolution + §3.2 learning)
+// calls for. Endpoints:
+//
+//	POST /query    outlying subspaces of a dataset row or ad-hoc vector
+//	POST /scan     bounded whole-dataset sweep with severity ranking
+//	GET  /state    export the preprocessed state (threshold + priors)
+//	GET  /healthz  liveness + dataset summary
+//	GET  /stats    query counts, cache hit rate, latency percentiles
+//
+// Concurrency follows the contract documented on core.Miner: after
+// Preprocess the Miner is read-only, and every request borrows a
+// private OD evaluator from a core.EvaluatorPool. Repeated identical
+// queries are answered from an in-memory LRU keyed by (point,
+// exclude) — the Miner's configuration is fixed per server, so the
+// key does not need to carry it. Scans are serialised by a semaphore
+// and every request is bounded by a body-size limit and a deadline.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/subspace"
+)
+
+// Options tunes a Server. The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// QueryTimeout bounds one /query computation (default 10s).
+	QueryTimeout time.Duration
+	// ScanTimeout bounds one /scan computation (default 2min).
+	ScanTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 1024; negative disables caching).
+	CacheSize int
+	// MaxScanResults caps the hits one /scan may return; requests
+	// asking for more (or for "all" via 0) are clamped (default 1000).
+	MaxScanResults int
+	// ScanWorkers is the ScanAllParallel fan-out (default GOMAXPROCS,
+	// chosen by core).
+	ScanWorkers int
+	// MaxConcurrentScans bounds simultaneous scans; excess requests
+	// get 429 (default 1).
+	MaxConcurrentScans int
+	// MaxConcurrentQueries bounds simultaneously *computing* queries
+	// (default 4×GOMAXPROCS). A request that cannot take a compute
+	// slot within QueryTimeout is shed with 503; this is what keeps a
+	// stream of deadline-busting queries from accumulating unbounded
+	// work, since an abandoned computation runs to completion (to
+	// seed the cache) rather than being cancelled.
+	MaxConcurrentQueries int
+	// LatencyWindow is the number of recent query latencies kept for
+	// percentiles (default 1024).
+	LatencyWindow int
+	// PointTransform, when set, maps every ad-hoc /query vector into
+	// the dataset's coordinate space before evaluation — e.g. the
+	// min-max rescaling hosserve installs under -normalize, without
+	// which raw-unit client points would be compared against scaled
+	// data and report as outliers everywhere. It must be pure and
+	// must not retain or mutate its argument's backing array beyond
+	// returning it.
+	PointTransform func([]float64) []float64
+	// MaxCachedMasks caps the per-entry outlying-mask set the result
+	// cache pins (default 16384, ~64 KiB; negative = no cap). Larger
+	// sets are still answered and cached, but their full outlying set
+	// is dropped from the entry, so an include_all request for that
+	// key recomputes instead of hitting.
+	MaxCachedMasks int
+}
+
+func (o *Options) setDefaults() {
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 10 * time.Second
+	}
+	if o.ScanTimeout <= 0 {
+		o.ScanTimeout = 2 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxScanResults <= 0 {
+		o.MaxScanResults = 1000
+	}
+	if o.MaxConcurrentScans <= 0 {
+		o.MaxConcurrentScans = 1
+	}
+	if o.MaxConcurrentQueries <= 0 {
+		o.MaxConcurrentQueries = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 1024
+	}
+	if o.MaxCachedMasks == 0 {
+		o.MaxCachedMasks = 16384
+	}
+}
+
+// Server is the HTTP face of one preprocessed Miner.
+type Server struct {
+	miner    *core.Miner
+	pool     *core.EvaluatorPool
+	opts     Options
+	cache    *resultCache
+	stats    *serverStats
+	scanSem  chan struct{}
+	querySem chan struct{}
+	mux      *http.ServeMux
+	started  time.Time
+}
+
+// New builds a Server over the Miner, running Preprocess if the
+// caller has not already (directly or via ImportState). Preprocessing
+// at construction — before any request goroutine exists — is what
+// makes the shared Miner state read-only from then on.
+func New(m *core.Miner, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("server: nil miner")
+	}
+	opts.setDefaults()
+	if err := m.Preprocess(); err != nil {
+		return nil, fmt.Errorf("server: preprocessing: %w", err)
+	}
+	s := &Server{
+		miner:    m,
+		pool:     m.NewEvaluatorPool(),
+		opts:     opts,
+		cache:    newResultCache(opts.CacheSize),
+		stats:    newServerStats(opts.LatencyWindow),
+		scanSem:  make(chan struct{}, opts.MaxConcurrentScans),
+		querySem: make(chan struct{}, opts.MaxConcurrentQueries),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /scan", s.handleScan)
+	s.mux.HandleFunc("GET /state", s.handleState)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the root handler (mux + recovery), ready for
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+// Stats returns a point-in-time counter snapshot (also served at
+// GET /stats).
+func (s *Server) Stats() StatsSnapshot {
+	return s.stats.snapshot(s.cache.len(), time.Since(s.started))
+}
+
+// ---- request/response bodies ----
+
+type queryRequest struct {
+	// Exactly one of Index (dataset row) or Point (ad-hoc vector) must
+	// be set.
+	Index *int      `json:"index,omitempty"`
+	Point []float64 `json:"point,omitempty"`
+	// IncludeAll adds the full outlying set to the response (it can be
+	// exponentially larger than the minimal set, so it is opt-in).
+	IncludeAll bool `json:"include_all,omitempty"`
+}
+
+type queryResponse struct {
+	Index         *int      `json:"index,omitempty"`
+	Point         []float64 `json:"point,omitempty"`
+	Threshold     float64   `json:"threshold"`
+	IsOutlier     bool      `json:"is_outlier"`
+	Minimal       [][]int   `json:"minimal"`
+	OutlyingCount int       `json:"outlying_count"`
+	Outlying      [][]int   `json:"outlying,omitempty"`
+	ODEvaluations int64     `json:"od_evaluations"`
+	Cached        bool      `json:"cached"`
+	ElapsedMs     float64   `json:"elapsed_ms"`
+
+	// outlyingMasks is the full outlying set in its compact 4-byte-
+	// per-subspace form; it is what the cache pins. The [][]int
+	// Outlying field is materialised per response, and only for
+	// include_all — the set can be exponential in d.
+	outlyingMasks []subspace.Mask
+}
+
+type scanRequest struct {
+	MaxResults     int  `json:"max_results,omitempty"`
+	SortBySeverity bool `json:"sort_by_severity,omitempty"`
+	Workers        int  `json:"workers,omitempty"`
+}
+
+type scanResponse struct {
+	Hits       []scanHit `json:"hits"`
+	HitCount   int       `json:"hit_count"`
+	MaxResults int       `json:"max_results"`
+	ElapsedMs  float64   `json:"elapsed_ms"`
+}
+
+type scanHit struct {
+	Index         int     `json:"index"`
+	Minimal       [][]int `json:"minimal"`
+	OutlyingCount int     `json:"outlying_count"`
+	FullSpaceOD   float64 `json:"full_space_od"`
+}
+
+type healthResponse struct {
+	Status        string  `json:"status"`
+	DatasetN      int     `json:"dataset_n"`
+	DatasetD      int     `json:"dataset_d"`
+	K             int     `json:"k"`
+	Threshold     float64 `json:"threshold"`
+	Policy        string  `json:"policy"`
+	Backend       string  `json:"backend"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	start := time.Now()
+
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var point []float64
+	exclude := -1
+	switch {
+	case req.Index != nil && req.Point != nil:
+		s.error(w, http.StatusBadRequest, "set exactly one of \"index\" and \"point\"")
+		return
+	case req.Index != nil:
+		idx := *req.Index
+		if idx < 0 || idx >= s.miner.Dataset().N() {
+			s.error(w, http.StatusBadRequest,
+				fmt.Sprintf("index %d out of range [0,%d)", idx, s.miner.Dataset().N()))
+			return
+		}
+		point = s.miner.Dataset().Point(idx)
+		exclude = idx
+	case req.Point != nil:
+		if len(req.Point) != s.miner.Dataset().Dim() {
+			s.error(w, http.StatusBadRequest,
+				fmt.Sprintf("point has %d dims, dataset has %d", len(req.Point), s.miner.Dataset().Dim()))
+			return
+		}
+		point = req.Point
+		if s.opts.PointTransform != nil {
+			point = s.opts.PointTransform(point)
+		}
+	default:
+		s.error(w, http.StatusBadRequest, "set one of \"index\" (dataset row) or \"point\" (vector)")
+		return
+	}
+
+	key := cacheKey(point, exclude)
+	if resp, ok := s.cache.get(key); ok {
+		// An entry whose full outlying set was too large to pin (see
+		// MaxCachedMasks) cannot serve include_all; fall through and
+		// recompute for that combination only.
+		if !req.IncludeAll || resp.outlyingMasks != nil || resp.OutlyingCount == 0 {
+			s.stats.cacheHits.Add(1)
+			s.stats.queries.Add(1)
+			s.stats.observe(time.Since(start))
+			out := *resp // copy: cached value stays immutable
+			out.Cached = true
+			out.ElapsedMs = msSince(start)
+			if req.IncludeAll {
+				out.Outlying = masksToDims(resp.outlyingMasks)
+			}
+			w.Header().Set("X-Cache", "HIT")
+			s.writeJSON(w, http.StatusOK, &out)
+			return
+		}
+	}
+
+	// Take a compute slot before spawning: when the server is
+	// saturated, requests shed here (503 on deadline or disconnect)
+	// instead of queueing unbounded abandoned work.
+	deadline := time.NewTimer(s.opts.QueryTimeout)
+	defer deadline.Stop()
+	select {
+	case s.querySem <- struct{}{}:
+	case <-r.Context().Done():
+		s.error(w, http.StatusServiceUnavailable, "request cancelled")
+		return
+	case <-deadline.C:
+		s.error(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no compute slot within the %s deadline", s.opts.QueryTimeout))
+		return
+	}
+
+	type outcome struct {
+		resp *queryResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// The slot is held until the computation finishes — even past
+		// the handler's deadline — so concurrent evaluators stay
+		// bounded by MaxConcurrentQueries.
+		defer func() { <-s.querySem }()
+		eval, err := s.pool.Get()
+		if err != nil {
+			done <- outcome{nil, err}
+			return
+		}
+		res, err := s.miner.QueryWith(eval, point, exclude)
+		s.pool.Put(eval)
+		if err != nil {
+			done <- outcome{nil, err}
+			return
+		}
+		resp := &queryResponse{
+			Index:         req.Index,
+			Threshold:     res.Threshold,
+			IsOutlier:     res.IsOutlierAnywhere,
+			Minimal:       masksToDims(res.Minimal),
+			OutlyingCount: len(res.Outlying),
+			ODEvaluations: res.ODEvaluations,
+			outlyingMasks: res.Outlying,
+		}
+		if req.Index == nil {
+			resp.Point = append([]float64(nil), point...)
+		}
+		// Cache here, not in the handler: a query that outlives the
+		// deadline still finishes and seeds the cache, so the client's
+		// retry is a hit instead of re-paying the full cost (and timing
+		// out again, forever). Oversized outlying sets are dropped from
+		// the cached copy only — the in-flight response keeps them.
+		toCache := resp
+		if s.opts.MaxCachedMasks > 0 && len(resp.outlyingMasks) > s.opts.MaxCachedMasks {
+			stripped := *resp
+			stripped.outlyingMasks = nil
+			toCache = &stripped
+		}
+		s.cache.put(key, toCache)
+		s.stats.odEvals.Add(res.ODEvaluations)
+		done <- outcome{resp, nil}
+	}()
+
+	select {
+	case <-r.Context().Done():
+		s.error(w, http.StatusServiceUnavailable, "request cancelled")
+		return
+	case <-deadline.C:
+		s.error(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("query exceeded the %s deadline", s.opts.QueryTimeout))
+		return
+	case o := <-done:
+		if o.err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(o.err, core.ErrNotPreprocessed) {
+				status = http.StatusServiceUnavailable
+			}
+			s.error(w, status, o.err.Error())
+			return
+		}
+		// Misses are counted when a computed answer is served, not at
+		// lookup time, so shed/timed-out requests (counted in errors)
+		// keep the invariant hits + misses == queries.
+		s.stats.cacheMiss.Add(1)
+		s.stats.queries.Add(1)
+		s.stats.observe(time.Since(start))
+		out := *o.resp
+		out.ElapsedMs = msSince(start)
+		if req.IncludeAll {
+			out.Outlying = masksToDims(o.resp.outlyingMasks)
+		}
+		w.Header().Set("X-Cache", "MISS")
+		s.writeJSON(w, http.StatusOK, &out)
+	}
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req scanRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.MaxResults < 0 {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("max_results = %d", req.MaxResults))
+		return
+	}
+	if req.Workers < 0 {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("workers = %d", req.Workers))
+		return
+	}
+	maxResults := req.MaxResults
+	if maxResults == 0 || maxResults > s.opts.MaxScanResults {
+		maxResults = s.opts.MaxScanResults
+	}
+	// Clamp the client-supplied fan-out: each worker builds its own
+	// evaluator, so an unbounded count is a memory/scheduler DoS.
+	maxWorkers := s.opts.ScanWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	workers := req.Workers
+	if workers == 0 || workers > maxWorkers {
+		workers = maxWorkers
+	}
+
+	select {
+	case s.scanSem <- struct{}{}:
+	default:
+		s.error(w, http.StatusTooManyRequests,
+			fmt.Sprintf("scan limit (%d concurrent) reached, retry later", s.opts.MaxConcurrentScans))
+		return
+	}
+
+	// The scan context is cancelled on deadline, client disconnect, or
+	// handler return: workers notice between points, so an abandoned
+	// scan frees its cores and its semaphore slot promptly instead of
+	// sweeping to completion for nobody.
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.ScanTimeout)
+	defer cancel()
+
+	type outcome struct {
+		hits []core.ScanHit
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.scanSem }()
+		hits, err := s.miner.ScanAllParallelContext(ctx, core.ScanOptions{
+			MaxResults:     maxResults,
+			SortBySeverity: req.SortBySeverity,
+		}, workers)
+		done <- outcome{hits, err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.error(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("scan exceeded the %s deadline", s.opts.ScanTimeout))
+		} else {
+			s.error(w, http.StatusServiceUnavailable, "request cancelled")
+		}
+		return
+	case o := <-done:
+		if o.err != nil {
+			s.error(w, http.StatusInternalServerError, o.err.Error())
+			return
+		}
+		resp := &scanResponse{
+			Hits:       make([]scanHit, len(o.hits)),
+			HitCount:   len(o.hits),
+			MaxResults: maxResults,
+			ElapsedMs:  msSince(start),
+		}
+		for i, h := range o.hits {
+			resp.Hits[i] = scanHit{
+				Index:         h.Index,
+				Minimal:       masksToDims(h.Minimal),
+				OutlyingCount: h.OutlyingCount,
+				FullSpaceOD:   h.FullSpaceOD,
+			}
+		}
+		s.stats.scans.Add(1)
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.miner.ExportState()
+	if err != nil {
+		s.error(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	cfg := s.miner.Config()
+	s.writeJSON(w, http.StatusOK, &healthResponse{
+		Status:        "ok",
+		DatasetN:      s.miner.Dataset().N(),
+		DatasetD:      s.miner.Dataset().Dim(),
+		K:             cfg.K,
+		Threshold:     s.miner.Threshold(),
+		Policy:        cfg.Policy.String(),
+		Backend:       cfg.Backend.String(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Stats()
+	s.writeJSON(w, http.StatusOK, &snap)
+}
+
+// ---- middleware & helpers ----
+
+// recoverPanics converts a handler panic into a counted 500 instead
+// of killing the connection handler. The panic value and stack go to
+// the server log; the client sees only a generic message.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.error(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// decodeBody parses the JSON request body under the configured size
+// limit, writing the 4xx itself when parsing fails.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		// An empty body means "all defaults" — natural for /scan,
+		// where every field is optional.
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.error(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.opts.MaxBodyBytes))
+			return false
+		}
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) error(w http.ResponseWriter, status int, msg string) {
+	s.stats.errors.Add(1)
+	s.writeJSON(w, status, &errorResponse{Error: msg})
+}
+
+func masksToDims(masks []subspace.Mask) [][]int {
+	out := make([][]int, len(masks))
+	for i, m := range masks {
+		out[i] = m.Dims()
+	}
+	return out
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

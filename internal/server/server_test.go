@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func newTestMiner(t *testing.T) *core.Miner {
+	t.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{
+		N: 150, D: 5, NumOutliers: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMiner(ds, core.Config{K: 4, TQuantile: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(newTestMiner(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// do runs one request through the full handler stack and decodes the
+// JSON response into out (when non-nil).
+func do(t *testing.T, h http.Handler, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s %s response: %v\nbody: %s", method, path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+func TestQueryByIndex(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp queryResponse
+	rec := do(t, s.Handler(), "POST", "/query", `{"index": 3}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Threshold <= 0 {
+		t.Fatalf("threshold %v, want > 0", resp.Threshold)
+	}
+	if resp.Cached {
+		t.Fatal("first query reported cached")
+	}
+	if resp.Outlying != nil {
+		t.Fatal("full outlying set included without include_all")
+	}
+	// The response must agree with a direct library query.
+	eval, err := s.miner.NewWorkerEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.miner.QueryPointWith(eval, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Minimal, masksToDims(want.Minimal)) {
+		t.Fatalf("minimal = %v, library says %v", resp.Minimal, masksToDims(want.Minimal))
+	}
+	if resp.IsOutlier != want.IsOutlierAnywhere || resp.OutlyingCount != len(want.Outlying) {
+		t.Fatalf("outlier summary diverged from library result")
+	}
+}
+
+func TestQueryByPointAndIncludeAll(t *testing.T) {
+	s := newTestServer(t, Options{})
+	point := s.miner.Dataset().Point(5)
+	buf, _ := json.Marshal(map[string]any{"point": point, "include_all": true})
+	var resp queryResponse
+	rec := do(t, s.Handler(), "POST", "/query", string(buf), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Outlying) != resp.OutlyingCount {
+		t.Fatalf("outlying has %d entries, count says %d", len(resp.Outlying), resp.OutlyingCount)
+	}
+	if len(resp.Point) != s.miner.Dataset().Dim() {
+		t.Fatalf("point echo has %d dims", len(resp.Point))
+	}
+}
+
+func TestQueryBadInput(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"neither index nor point", `{}`, http.StatusBadRequest},
+		{"both index and point", `{"index":1,"point":[1,2,3,4,5]}`, http.StatusBadRequest},
+		{"index out of range", `{"index":100000}`, http.StatusBadRequest},
+		{"negative index", `{"index":-1}`, http.StatusBadRequest},
+		{"wrong dims", `{"point":[1,2]}`, http.StatusBadRequest},
+		{"unknown field", `{"idx":3}`, http.StatusBadRequest},
+		{"malformed json", `{"index":`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "POST", "/query", c.body, nil)
+		if rec.Code != c.status {
+			t.Errorf("%s: status %d, want %d (body %s)", c.name, rec.Code, c.status, rec.Body.String())
+		}
+		var e errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", c.name, rec.Body.String())
+		}
+	}
+	if rec := do(t, h, "GET", "/query", "", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", rec.Code)
+	}
+	if errs := s.Stats().Errors; errs < int64(len(cases)) {
+		t.Errorf("error counter %d, want ≥ %d", errs, len(cases))
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	s := newTestServer(t, Options{MaxBodyBytes: 64})
+	big := fmt.Sprintf(`{"point":[%s1]}`, strings.Repeat("1,", 500))
+	rec := do(t, s.Handler(), "POST", "/query", big, nil)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+func TestQueryCacheHit(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	var first, second queryResponse
+	if rec := do(t, h, "POST", "/query", `{"index": 7}`, &first); rec.Code != http.StatusOK {
+		t.Fatalf("first: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := do(t, h, "POST", "/query", `{"index": 7}`, &second)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second: %d %s", rec.Code, rec.Body.String())
+	}
+	if !second.Cached || first.Cached {
+		t.Fatalf("cached flags: first %v second %v, want false/true", first.Cached, second.Cached)
+	}
+	if rec.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("X-Cache = %q, want HIT", rec.Header().Get("X-Cache"))
+	}
+	if !reflect.DeepEqual(first.Minimal, second.Minimal) {
+		t.Fatal("cached answer differs from computed answer")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.Queries != 2 {
+		t.Fatalf("stats = hits %d misses %d queries %d, want 1/1/2", st.CacheHits, st.CacheMisses, st.Queries)
+	}
+	// An ad-hoc vector equal to the row (exclude differs) must NOT hit.
+	buf, _ := json.Marshal(map[string]any{"point": s.miner.Dataset().Point(7)})
+	var third queryResponse
+	do(t, h, "POST", "/query", string(buf), &third)
+	if third.Cached {
+		t.Fatal("external point hit the dataset-row cache entry")
+	}
+}
+
+// TestQueryTimeoutRetryConverges runs with a 1ns deadline: every
+// attempt either sheds before taking a compute slot, times out after
+// spawning (which still seeds the cache), or — rarely — beats the
+// race. A retrying client must converge to 200 once any attempt's
+// computation lands in the cache, because the cache is consulted
+// before the deadline applies.
+func TestQueryTimeoutRetryConverges(t *testing.T) {
+	s := newTestServer(t, Options{QueryTimeout: time.Nanosecond})
+	h := s.Handler()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var resp queryResponse
+		rec := do(t, h, "POST", "/query", `{"index": 0}`, &resp)
+		if rec.Code == http.StatusOK {
+			if s.cache.len() == 0 {
+				t.Fatal("200 served but nothing cached")
+			}
+			return
+		}
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503 or 200 (body %s)", rec.Code, rec.Body.String())
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retries never converged to a cached answer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQuerySheddingWhenSaturated(t *testing.T) {
+	s := newTestServer(t, Options{MaxConcurrentQueries: 1, QueryTimeout: 20 * time.Millisecond})
+	s.querySem <- struct{}{} // occupy the only compute slot
+	rec := do(t, s.Handler(), "POST", "/query", `{"index": 0}`, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated: status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	if s.cache.len() != 0 {
+		t.Fatal("shed request must not have computed anything")
+	}
+	<-s.querySem
+	if rec := do(t, s.Handler(), "POST", "/query", `{"index": 0}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("after slot freed: status %d", rec.Code)
+	}
+}
+
+func TestScanWorkersClamped(t *testing.T) {
+	s := newTestServer(t, Options{ScanWorkers: 2})
+	rec := do(t, s.Handler(), "POST", "/scan", `{"workers": 1000000}`, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("huge workers: status %d (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s.Handler(), "POST", "/scan", `{"workers": -1}`, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative workers: status %d, want 400", rec.Code)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp scanResponse
+	rec := do(t, s.Handler(), "POST", "/scan", `{"max_results": 5, "sort_by_severity": true}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.HitCount > 5 {
+		t.Fatalf("hit count %d exceeds max_results", resp.HitCount)
+	}
+	for i := 1; i < len(resp.Hits); i++ {
+		if resp.Hits[i-1].FullSpaceOD < resp.Hits[i].FullSpaceOD {
+			t.Fatalf("hits not sorted by severity: %v before %v",
+				resp.Hits[i-1].FullSpaceOD, resp.Hits[i].FullSpaceOD)
+		}
+	}
+	if s.Stats().Scans != 1 {
+		t.Fatalf("scan counter = %d", s.Stats().Scans)
+	}
+}
+
+func TestScanLimitsClamped(t *testing.T) {
+	s := newTestServer(t, Options{MaxScanResults: 3})
+	var resp scanResponse
+	do(t, s.Handler(), "POST", "/scan", `{"max_results": 1000000}`, &resp)
+	if resp.MaxResults != 3 {
+		t.Fatalf("effective max_results %d, want clamped to 3", resp.MaxResults)
+	}
+	if len(resp.Hits) > 3 {
+		t.Fatalf("%d hits returned past the cap", len(resp.Hits))
+	}
+	if rec := do(t, s.Handler(), "POST", "/scan", `{"max_results": -1}`, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative max_results: status %d, want 400", rec.Code)
+	}
+}
+
+func TestScanEmptyBodyUsesDefaults(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp scanResponse
+	rec := do(t, s.Handler(), "POST", "/scan", "", &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty body: status %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+	if resp.MaxResults != 1000 {
+		t.Fatalf("defaults not applied: max_results %d", resp.MaxResults)
+	}
+}
+
+func TestScanTimeoutReleasesSlot(t *testing.T) {
+	s := newTestServer(t, Options{ScanTimeout: time.Nanosecond})
+	rec := do(t, s.Handler(), "POST", "/scan", `{}`, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	// The cancelled workers notice promptly and free the semaphore.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.scanSem) != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(s.scanSem) != 0 {
+		t.Fatal("abandoned scan never released its slot")
+	}
+}
+
+func TestScanConcurrencyLimit(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.scanSem <- struct{}{} // occupy the single scan slot
+	rec := do(t, s.Handler(), "POST", "/scan", `{}`, nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+	<-s.scanSem
+}
+
+func TestStateEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var st core.State
+	rec := do(t, s.Handler(), "GET", "/state", "", &st)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if st.Threshold <= 0 || st.Dim != 5 || st.K != 4 {
+		t.Fatalf("state = %+v", st)
+	}
+	// The exported state must round-trip into a fresh miner.
+	m2 := newTestMiner(t)
+	if err := m2.ImportState(&st); err != nil {
+		t.Fatalf("re-importing served state: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var h healthResponse
+	rec := do(t, s.Handler(), "GET", "/healthz", "", &h)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if h.Status != "ok" || h.DatasetN != 150 || h.DatasetD != 5 || h.Threshold <= 0 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+// TestConcurrentQueriesRace hammers /query from many goroutines —
+// the acceptance check for the Miner sharing contract; run with
+// -race. Answers must match the sequential library results, and the
+// hot repeated query must be served from the cache.
+func TestConcurrentQueriesRace(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	const points = 10
+	want := make([][]byte, points)
+	eval, err := s.miner.NewWorkerEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < points; i++ {
+		r, err := s.miner.QueryPointWith(eval, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], _ = json.Marshal(masksToDims(r.Minimal))
+	}
+
+	const goroutines = 16
+	const iters = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				idx := (g + it) % points
+				req := httptest.NewRequest("POST", "/query",
+					bytes.NewReader([]byte(fmt.Sprintf(`{"index": %d}`, idx))))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errCh <- fmt.Errorf("goroutine %d: status %d: %s", g, rec.Code, rec.Body.String())
+					return
+				}
+				var resp queryResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					errCh <- err
+					return
+				}
+				got, _ := json.Marshal(resp.Minimal)
+				if !bytes.Equal(got, want[idx]) {
+					errCh <- fmt.Errorf("index %d: got %s want %s", idx, got, want[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Queries != goroutines*iters {
+		t.Fatalf("queries = %d, want %d", st.Queries, goroutines*iters)
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits across repeated identical queries")
+	}
+	if st.CacheHits+st.CacheMisses != st.Queries {
+		t.Fatalf("hits %d + misses %d != queries %d", st.CacheHits, st.CacheMisses, st.Queries)
+	}
+}
+
+// TestConcurrentQueryAndScan overlaps a scan with query traffic; run
+// with -race to validate the read-only sharing contract.
+func TestConcurrentQueryAndScan(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest("POST", "/scan", strings.NewReader(`{"workers": 4}`))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"index": %d}`, g)
+			req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("query during scan: status %d", rec.Code)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestOversizedMaskSetNotPinned(t *testing.T) {
+	// Cap of 1 mask: any real outlier's set is "oversized".
+	s := newTestServer(t, Options{MaxCachedMasks: 1})
+	h := s.Handler()
+	// Find an outlier row (planted ones sit at the low indexes).
+	var probe queryResponse
+	idx := -1
+	for i := 0; i < 10; i++ {
+		do(t, h, "POST", "/query", fmt.Sprintf(`{"index": %d}`, i), &probe)
+		if probe.IsOutlier && probe.OutlyingCount > 1 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Skip("no multi-subspace outlier in the first rows")
+	}
+	body := fmt.Sprintf(`{"index": %d}`, idx)
+	// Plain repeat: served from the stripped entry.
+	var plain queryResponse
+	do(t, h, "POST", "/query", body, &plain)
+	if !plain.Cached {
+		t.Fatal("plain repeat should hit the stripped entry")
+	}
+	// include_all cannot be served from the stripped entry: it must
+	// recompute, and still return the full set.
+	full := fmt.Sprintf(`{"index": %d, "include_all": true}`, idx)
+	var withAll queryResponse
+	do(t, h, "POST", "/query", full, &withAll)
+	if withAll.Cached {
+		t.Fatal("include_all served from an entry with no masks")
+	}
+	if len(withAll.Outlying) != withAll.OutlyingCount {
+		t.Fatalf("recomputed outlying has %d entries, count %d", len(withAll.Outlying), withAll.OutlyingCount)
+	}
+}
+
+func TestPointTransformApplied(t *testing.T) {
+	m := newTestMiner(t)
+	calls := 0
+	s, err := New(m, Options{PointTransform: func(p []float64) []float64 {
+		calls++
+		return p
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(map[string]any{"point": m.Dataset().Point(5)})
+	do(t, s.Handler(), "POST", "/query", string(buf), nil)
+	if calls != 1 {
+		t.Fatalf("transform called %d times for one ad-hoc query", calls)
+	}
+	// Dataset-row queries are already in dataset space: no transform.
+	do(t, s.Handler(), "POST", "/query", `{"index": 5}`, nil)
+	if calls != 1 {
+		t.Fatalf("transform called on an index query")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := newTestServer(t, Options{CacheSize: -1})
+	h := s.Handler()
+	var resp queryResponse
+	do(t, h, "POST", "/query", `{"index": 2}`, &resp)
+	do(t, h, "POST", "/query", `{"index": 2}`, &resp)
+	if resp.Cached {
+		t.Fatal("cache disabled but second query reported cached")
+	}
+	if s.Stats().CacheHits != 0 {
+		t.Fatal("cache hits counted with caching disabled")
+	}
+}

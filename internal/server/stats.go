@@ -1,0 +1,113 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats aggregates the counters behind GET /stats. Counters are
+// atomics; query latencies go into a bounded ring so percentiles
+// reflect recent traffic without unbounded memory.
+type serverStats struct {
+	queries   atomic.Int64 // /query requests answered (cached or not)
+	scans     atomic.Int64 // /scan requests answered
+	errors    atomic.Int64 // requests that failed (4xx/5xx)
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+	inFlight  atomic.Int64
+	odEvals   atomic.Int64 // OD computations spent on /query work
+
+	mu   sync.Mutex
+	ring []time.Duration // query latencies, ring buffer
+	next int             // next write position
+	full bool
+}
+
+func newServerStats(window int) *serverStats {
+	if window <= 0 {
+		window = 1024
+	}
+	return &serverStats{ring: make([]time.Duration, window)}
+}
+
+// observe records one query latency.
+func (s *serverStats) observe(d time.Duration) {
+	s.mu.Lock()
+	s.ring[s.next] = d
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// latencies returns a sorted copy of the recorded window.
+func (s *serverStats) latencies() []time.Duration {
+	s.mu.Lock()
+	n := s.next
+	if s.full {
+		n = len(s.ring)
+	}
+	out := make([]time.Duration, n)
+	copy(out, s.ring[:n])
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// percentile reads the q-quantile (0 < q ≤ 1) from a sorted sample
+// using the nearest-rank method; 0 on an empty sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// StatsSnapshot is the JSON body of GET /stats.
+type StatsSnapshot struct {
+	Queries       int64   `json:"queries"`
+	Scans         int64   `json:"scans"`
+	Errors        int64   `json:"errors"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+	InFlight      int64   `json:"in_flight"`
+	ODEvaluations int64   `json:"od_evaluations"`
+	LatencySample int     `json:"latency_sample"`
+	P50Ms         float64 `json:"latency_p50_ms"`
+	P90Ms         float64 `json:"latency_p90_ms"`
+	P99Ms         float64 `json:"latency_p99_ms"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// snapshot assembles the current counters.
+func (s *serverStats) snapshot(cacheEntries int, uptime time.Duration) StatsSnapshot {
+	lat := s.latencies()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return StatsSnapshot{
+		Queries:       s.queries.Load(),
+		Scans:         s.scans.Load(),
+		Errors:        s.errors.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMiss.Load(),
+		CacheEntries:  cacheEntries,
+		InFlight:      s.inFlight.Load(),
+		ODEvaluations: s.odEvals.Load(),
+		LatencySample: len(lat),
+		P50Ms:         ms(percentile(lat, 0.50)),
+		P90Ms:         ms(percentile(lat, 0.90)),
+		P99Ms:         ms(percentile(lat, 0.99)),
+		UptimeSeconds: uptime.Seconds(),
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	var sorted []time.Duration
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentile(sorted, 0.50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(sorted, 0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty sample p50 = %v", got)
+	}
+	if got := percentile(sorted[:1], 0.99); got != time.Millisecond {
+		t.Fatalf("single sample p99 = %v", got)
+	}
+}
+
+func TestLatencyRingWraps(t *testing.T) {
+	s := newServerStats(4)
+	for i := 1; i <= 10; i++ {
+		s.observe(time.Duration(i) * time.Millisecond)
+	}
+	lat := s.latencies()
+	if len(lat) != 4 {
+		t.Fatalf("window holds %d, want 4", len(lat))
+	}
+	// Only the most recent 4 observations (7..10ms) survive.
+	if lat[0] != 7*time.Millisecond || lat[3] != 10*time.Millisecond {
+		t.Fatalf("window = %v", lat)
+	}
+}
+
+func TestSnapshotPercentiles(t *testing.T) {
+	s := newServerStats(8)
+	s.queries.Add(3)
+	s.cacheHits.Add(1)
+	for _, d := range []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 6 * time.Millisecond} {
+		s.observe(d)
+	}
+	snap := s.snapshot(5, 10*time.Second)
+	if snap.Queries != 3 || snap.CacheHits != 1 || snap.CacheEntries != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.LatencySample != 3 || snap.P50Ms != 4 {
+		t.Fatalf("latency fields = %+v", snap)
+	}
+	if snap.UptimeSeconds != 10 {
+		t.Fatalf("uptime = %v", snap.UptimeSeconds)
+	}
+}
