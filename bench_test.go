@@ -8,6 +8,8 @@ package hosminer_test
 
 import (
 	"bytes"
+	"context"
+	"math/rand"
 	"os"
 	"testing"
 
@@ -172,6 +174,75 @@ func benchSearchPolicy(b *testing.B, policy core.Policy) {
 func BenchmarkSearchTSF(b *testing.B)      { benchSearchPolicy(b, core.PolicyTSF) }
 func BenchmarkSearchBottomUp(b *testing.B) { benchSearchPolicy(b, core.PolicyBottomUp) }
 func BenchmarkSearchTopDown(b *testing.B)  { benchSearchPolicy(b, core.PolicyTopDown) }
+
+// --- batch engine ----------------------------------------------------
+//
+// BenchmarkQueryBatch vs BenchmarkQueryBatchSequentialBaseline run the
+// SAME 64-query workload (hot-key traffic: 64 queries over 16 distinct
+// rows of the default synthetic dataset, the shape multi-user serving
+// produces) through the batch engine and through N sequential single
+// queries. The batch engine's shared per-batch OD cache answers
+// repeated (point, subspace) probes from earlier items' work, which is
+// where the speedup comes from even on one core; on multi-core
+// machines the worker fan-out multiplies it. Measured numbers live in
+// DESIGN.md §4.5.
+
+func batchBenchMiner(b *testing.B) *core.Miner {
+	b.Helper()
+	ds := benchDataset(b, 1000, 8)
+	m, err := core.NewMiner(ds, core.Config{K: 5, TQuantile: 0.95, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Preprocess(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// batchBenchQueries is the shared 64-item hot-key workload.
+func batchBenchQueries() []core.BatchQuery {
+	rng := rand.New(rand.NewSource(7))
+	qs := make([]core.BatchQuery, 64)
+	for i := range qs {
+		qs[i] = core.BatchIndex(rng.Intn(16))
+	}
+	return qs
+}
+
+func BenchmarkQueryBatch(b *testing.B) {
+	m := batchBenchMiner(b)
+	qs := batchBenchQueries()
+	pool := m.NewEvaluatorPool()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.QueryBatch(context.Background(), qs, core.BatchOptions{Pool: pool})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("%d items failed", res.Failed)
+		}
+	}
+}
+
+func BenchmarkQueryBatchSequentialBaseline(b *testing.B) {
+	m := batchBenchMiner(b)
+	qs := batchBenchQueries()
+	eval, err := m.NewWorkerEvaluator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			row, _ := q.Row()
+			if _, err := m.QueryPointWith(eval, row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 func BenchmarkMinimalFilter(b *testing.B) {
 	// A realistic post-search outlying set: all supersets of two

@@ -9,6 +9,7 @@
 //
 //	hosminer -data data.csv -k 5 -tq 0.95 -samples 20 -index 0
 //	hosminer -data data.csv -k 5 -t 12.5 -point "1.0,2.0,0.3"
+//	hosminer -data data.csv -k 5 -tq 0.95 -batch "0,3,17,3"
 //	hosminer -data data.csv -k 5 -tq 0.99 -scan -top 10
 //
 // Output lists the minimal outlying subspaces with resolved column
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		index     = fs.Int("index", -1, "query dataset row by index")
 		pointStr  = fs.String("point", "", "query an external point: comma-separated values")
 		scan      = fs.Bool("scan", false, "scan every dataset point for outlying subspaces")
+		batch     = fs.String("batch", "", "query many dataset rows as one batch: comma-separated indices (duplicates share OD work)")
+		batchW    = fs.Int("batch-workers", 0, "with -batch: evaluation fan-out (0 = GOMAXPROCS)")
 		top       = fs.Int("top", 10, "with -scan: report the top-N points by severity")
 		backend   = fs.String("backend", "auto", "k-NN backend: auto|linear|xtree")
 		policy    = fs.String("policy", "tsf", "search order: tsf|bottomup|topdown|random")
@@ -130,6 +134,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *scan {
 		return runScan(stdout, ds, m, *top)
 	}
+	if *batch != "" {
+		return runBatch(stdout, ds, m, *batch, *batchW)
+	}
 
 	var res *core.QueryResult
 	switch {
@@ -144,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		res, err = m.OutlyingSubspaces(point)
 	default:
-		return fmt.Errorf("provide a query: -index N, -point \"v1,v2,...\", or -scan")
+		return fmt.Errorf("provide a query: -index N, -point \"v1,v2,...\", -batch \"i,j,...\", or -scan")
 	}
 	if err != nil {
 		return err
@@ -176,6 +183,51 @@ func runScan(w io.Writer, ds *vector.Dataset, m *core.Miner, top int) error {
 		fmt.Fprintf(w, "  #%-5d OD=%-9.4g outlying in %d subspaces; minimal: %s\n",
 			h.Index, h.FullSpaceOD, h.OutlyingCount, strings.Join(subs, "; "))
 	}
+	return nil
+}
+
+// runBatch evaluates a comma-separated index list through the batch
+// engine: one shared per-batch OD cache, so repeated indices are
+// answered from each other's work.
+func runBatch(w io.Writer, ds *vector.Dataset, m *core.Miner, spec string, workers int) error {
+	parts := strings.Split(spec, ",")
+	indices := make([]int, 0, len(parts))
+	queries := make([]core.BatchQuery, 0, len(parts))
+	for _, p := range parts {
+		idx, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("-batch index %q: %w", p, err)
+		}
+		indices = append(indices, idx)
+		queries = append(queries, core.BatchIndex(idx))
+	}
+	res, err := m.QueryBatch(context.Background(), queries, core.BatchOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	for i, item := range res.Items {
+		if item.Err != nil {
+			fmt.Fprintf(w, "#%-5d error: %v\n", indices[i], item.Err)
+			continue
+		}
+		r := item.Result
+		if !r.IsOutlierAnywhere {
+			fmt.Fprintf(w, "#%-5d not an outlier in any subspace\n", indices[i])
+			continue
+		}
+		var subs []string
+		for j, s := range r.Minimal {
+			if j >= 4 {
+				subs = append(subs, fmt.Sprintf("+%d more", len(r.Minimal)-4))
+				break
+			}
+			subs = append(subs, describeSubspace(ds, s))
+		}
+		fmt.Fprintf(w, "#%-5d outlying in %d subspaces; minimal: %s\n",
+			indices[i], len(r.Outlying), strings.Join(subs, "; "))
+	}
+	fmt.Fprintf(w, "batch: %d ok, %d failed; OD cache: %d hits, %d misses (%d entries)\n",
+		res.Succeeded, res.Failed, res.Cache.Hits, res.Cache.Misses, res.Cache.Entries)
 	return nil
 }
 

@@ -157,3 +157,32 @@ func TestRunStateSaveAndLoad(t *testing.T) {
 		t.Fatal("mismatched K accepted")
 	}
 }
+
+func TestRunBatch(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	// Index 0 is a planted outlier; duplicate it so the shared cache
+	// has something to share, and include an out-of-range item to see
+	// per-item error reporting.
+	err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-batch", "0, 5, 0, 999"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"#0", "outlying in", "error", "batch: 3 ok, 1 failed", "OD cache:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "hits") {
+		t.Fatalf("no cache accounting in output:\n%s", s)
+	}
+}
+
+func TestRunBatchBadIndex(t *testing.T) {
+	path := writeFixture(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-batch", "0,x"}, &out, &errBuf); err == nil {
+		t.Fatal("malformed -batch accepted")
+	}
+}

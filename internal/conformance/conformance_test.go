@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/subspace"
+)
+
+// Every spec, linear vs X-tree: the k-NN backend must be invisible in
+// the answers. OD values depend only on the neighbour set, and both
+// backends implement the same exact-k-NN contract, so the minimal
+// outlying subspaces must match byte for byte.
+func TestBackendsAgree(t *testing.T) {
+	for _, sp := range DefaultSpecs() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			lin, err := sp.Miner(core.BackendLinear, core.PolicyTSF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xt, err := sp.Miner(core.BackendXTree, core.PolicyTSF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lin.Threshold() != xt.Threshold() {
+				t.Fatalf("resolved thresholds diverge: linear %v, xtree %v", lin.Threshold(), xt.Threshold())
+			}
+			a, err := MinimalFingerprints(lin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := MinimalFingerprints(xt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := Diff("linear", a, "xtree", b); d != "" {
+				t.Fatalf("backends disagree:\n%s", d)
+			}
+		})
+	}
+}
+
+// Every spec, all four policies: layer ordering decides how much work
+// the search does, never what it answers. All policies must settle
+// every subspace to the same verdict.
+func TestPoliciesAgree(t *testing.T) {
+	for _, sp := range DefaultSpecs() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			var ref []string
+			for _, policy := range Policies() {
+				m, err := sp.Miner(core.BackendLinear, policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := MinimalFingerprints(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if d := Diff(core.PolicyTSF.String(), ref, policy.String(), got); d != "" {
+					t.Fatalf("policy %v disagrees with %v:\n%s", policy, core.PolicyTSF, d)
+				}
+			}
+		})
+	}
+}
+
+// Every spec: the batched path (shared per-batch OD cache, worker
+// fan-out, pooled evaluators) must be indistinguishable from the
+// single-query path.
+func TestBatchedMatchesSingle(t *testing.T) {
+	for _, sp := range DefaultSpecs() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range Backends() {
+				m, err := sp.Miner(backend, core.PolicyTSF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				single, err := MinimalFingerprints(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					batched, err := BatchMinimalFingerprints(m, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := Diff("single", single, "batched", batched); d != "" {
+						t.Fatalf("backend %v workers %d: batched path diverged:\n%s", backend, workers, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The batched path must also agree across policies — the combination
+// matters because PolicyRandom consumes per-call deterministic rngs
+// on the batch path and the Miner's own rng on the sequential path.
+func TestBatchedPoliciesAgree(t *testing.T) {
+	sp := DefaultSpecs()[0]
+	var ref []string
+	for _, policy := range Policies() {
+		m, err := sp.Miner(core.BackendLinear, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BatchMinimalFingerprints(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if d := Diff("first-policy", ref, policy.String(), got); d != "" {
+			t.Fatalf("batched policy %v diverged:\n%s", policy, d)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := []subspace.Mask{subspace.New(0, 2), subspace.New(1)}
+	b := []subspace.Mask{subspace.New(1), subspace.New(0, 2)} // same set, shuffled
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint is order-sensitive")
+	}
+	if Fingerprint(a) == Fingerprint([]subspace.Mask{subspace.New(1)}) {
+		t.Fatal("fingerprint collides across different sets")
+	}
+	if Fingerprint(nil) != "" {
+		t.Fatal("empty set fingerprint not empty")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if d := Diff("a", []string{"x", "y"}, "b", []string{"x", "y"}); d != "" {
+		t.Fatalf("identical slices diff %q", d)
+	}
+	if d := Diff("a", []string{"x"}, "b", []string{"x", "y"}); d == "" {
+		t.Fatal("length mismatch not reported")
+	}
+	if d := Diff("a", []string{"x", "y"}, "b", []string{"x", "z"}); d == "" {
+		t.Fatal("content mismatch not reported")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/od"
+)
+
+// This file is the batch query engine: many outlying-subspace queries
+// evaluated through one shared, bounded, concurrency-safe memo of OD
+// evaluations (od.SharedCache) and one evaluator pool, instead of
+// rebuilding per-point state query by query. Duplicate or repeated
+// points — the common shape of multi-user traffic — pay for each
+// distinct (point, subspace) OD evaluation once per batch.
+
+// batchKind discriminates the two item forms; the zero value marks an
+// unconstructed (invalid) item.
+type batchKind uint8
+
+const (
+	batchKindEmpty batchKind = iota
+	batchKindRow
+	batchKindPoint
+)
+
+// BatchQuery is one item of a QueryBatch: a dataset row or an
+// external point. Build items with BatchIndex / BatchPoint — the
+// fields are unexported precisely so an accidental zero value or
+// half-filled literal cannot silently address row 0; a zero BatchQuery
+// is reported as a per-item error.
+type BatchQuery struct {
+	kind  batchKind
+	index int
+	point []float64
+}
+
+// BatchIndex makes a BatchQuery for dataset row idx.
+func BatchIndex(idx int) BatchQuery { return BatchQuery{kind: batchKindRow, index: idx} }
+
+// BatchPoint makes a BatchQuery for an external point.
+func BatchPoint(p []float64) BatchQuery { return BatchQuery{kind: batchKindPoint, point: p} }
+
+// Row returns the dataset row the item addresses, or (0, false) for
+// external-point and zero-value items.
+func (q BatchQuery) Row() (int, bool) { return q.index, q.kind == batchKindRow }
+
+// ExternalPoint returns the external point the item addresses, or
+// (nil, false).
+func (q BatchQuery) ExternalPoint() ([]float64, bool) { return q.point, q.kind == batchKindPoint }
+
+// BatchOptions tunes QueryBatch. The zero value selects the defaults
+// noted on each field.
+type BatchOptions struct {
+	// Workers is the evaluation fan-out (≤ 0 selects GOMAXPROCS;
+	// always clamped to the batch size).
+	Workers int
+	// CacheCapacity bounds the shared per-batch OD cache in entries
+	// (0 = od.DefaultSharedCacheCapacity; negative disables sharing,
+	// leaving each item with only its private per-query cache).
+	CacheCapacity int
+	// Pool, when non-nil, supplies worker evaluators (e.g. a serving
+	// layer's long-lived pool); nil builds a pool for this batch.
+	Pool *EvaluatorPool
+}
+
+// BatchItemResult is the outcome of one batch item: exactly one of
+// Result and Err is non-nil.
+type BatchItemResult struct {
+	Result *QueryResult
+	Err    error
+}
+
+// BatchCacheStats summarises the shared per-batch OD cache (zeros
+// when sharing was disabled).
+type BatchCacheStats struct {
+	// Hits is the number of OD probes answered by a sibling query's
+	// earlier work; Misses is the number of OD evaluations actually
+	// computed through the shared cache.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries displaced by CacheCapacity.
+	Evictions int64
+	// Entries is the resident size when the batch finished.
+	Entries int
+}
+
+// BatchResult is the outcome of a QueryBatch: per-item results in
+// input order plus batch-wide accounting.
+type BatchResult struct {
+	// Items has exactly one entry per input query, in input order.
+	Items []BatchItemResult
+	// Succeeded and Failed count the two item outcomes.
+	Succeeded int
+	Failed    int
+	// Cache is the shared OD cache accounting.
+	Cache BatchCacheStats
+}
+
+// QueryBatch evaluates many outlying-subspace queries as one unit of
+// work: items fan out over opts.Workers goroutines that borrow
+// evaluators from one pool and memoise OD evaluations in one shared
+// bounded cache, so duplicated points across the batch are answered
+// from each other's work. Answers are identical to running each item
+// through OutlyingSubspaces / OutlyingSubspacesOfPoint — the shared
+// cache stores deterministic OD values, never decisions.
+//
+// Item-level problems (index out of range, dimension mismatch,
+// ambiguous item) are reported per item in BatchResult.Items, and the
+// rest of the batch still completes. QueryBatch itself errors only on
+// setup failure or context cancellation; cancellation is noticed
+// between items and mid-search (see SearchContext), so an abandoned
+// batch frees its workers promptly.
+//
+// Like ScanAllParallelContext, a first QueryBatch on a fresh Miner
+// runs Preprocess lazily (from the calling goroutine, before workers
+// fan out); once the Miner is preprocessed, any number of QueryBatch,
+// QueryWith and scan calls may run concurrently.
+func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts BatchOptions) (*BatchResult, error) {
+	if err := m.Preprocess(); err != nil {
+		return nil, err
+	}
+	res := &BatchResult{Items: make([]BatchItemResult, len(queries))}
+	if len(queries) == 0 {
+		return res, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = m.NewEvaluatorPool()
+	}
+	shared := od.NewSharedCache(opts.CacheCapacity)
+
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			eval, err := pool.Get()
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			defer pool.Put(eval)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[worker] = err
+					return
+				}
+				res.Items[i] = m.batchOne(ctx, eval, queries[i], shared)
+				if err := ctx.Err(); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, item := range res.Items {
+		if item.Err != nil {
+			res.Failed++
+		} else {
+			res.Succeeded++
+		}
+	}
+	st := shared.Stats()
+	res.Cache = BatchCacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+	}
+	return res, nil
+}
+
+// batchOne validates and evaluates a single batch item.
+func (m *Miner) batchOne(ctx context.Context, eval *od.Evaluator, q BatchQuery, shared *od.SharedCache) BatchItemResult {
+	var point []float64
+	exclude := -1
+	switch q.kind {
+	case batchKindRow:
+		if q.index < 0 || q.index >= m.ds.N() {
+			return BatchItemResult{Err: fmt.Errorf("core: batch index %d out of range [0,%d)", q.index, m.ds.N())}
+		}
+		point = m.ds.Point(q.index)
+		exclude = q.index
+	case batchKindPoint:
+		if len(q.point) != m.ds.Dim() {
+			return BatchItemResult{Err: fmt.Errorf("core: batch point has %d dims, dataset %d", len(q.point), m.ds.Dim())}
+		}
+		point = q.point
+	default:
+		return BatchItemResult{Err: fmt.Errorf("core: empty batch item (use BatchIndex or BatchPoint)")}
+	}
+	r, err := m.searchOne(ctx, eval, point, exclude, shared)
+	if err != nil {
+		return BatchItemResult{Err: err}
+	}
+	return BatchItemResult{Result: r}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/subspace"
+)
+
+func TestQueryBatchMatchesSingleQueries(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.92, SampleSize: 8, Seed: 3})
+	if err := m.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	external := append([]float64(nil), m.Dataset().Point(1)...)
+	external[0] += 30 // an ad-hoc point, outlying in dim 0
+
+	var queries []BatchQuery
+	for i := 0; i < 40; i++ {
+		queries = append(queries, BatchIndex(i%25)) // duplicates on purpose
+	}
+	queries = append(queries, BatchPoint(external))
+
+	res, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != len(queries) || res.Failed != 0 {
+		t.Fatalf("succeeded/failed = %d/%d, want %d/0", res.Succeeded, res.Failed, len(queries))
+	}
+	for i, item := range res.Items {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+		var want *QueryResult
+		if row, ok := queries[i].Row(); ok {
+			want, err = m.OutlyingSubspacesOfPoint(row)
+		} else {
+			p, _ := queries[i].ExternalPoint()
+			want, err = m.OutlyingSubspaces(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := item.Result
+		if !reflect.DeepEqual(got.Outlying, want.Outlying) || !reflect.DeepEqual(got.Minimal, want.Minimal) {
+			t.Fatalf("item %d: batch answer diverged from single query", i)
+		}
+		if got.Threshold != want.Threshold || got.IsOutlierAnywhere != want.IsOutlierAnywhere {
+			t.Fatalf("item %d: summary fields diverged", i)
+		}
+	}
+	if res.Cache.Hits == 0 {
+		t.Fatal("duplicated batch items produced no shared-cache hits")
+	}
+}
+
+// A batch of size 1 must be *exactly* the single-query result — every
+// field, including the work accounting, since an empty shared cache
+// can neither add nor remove OD computations.
+func TestQueryBatchSize1ExactlyEquivalent(t *testing.T) {
+	for _, policy := range []Policy{PolicyTSF, PolicyBottomUp, PolicyTopDown} {
+		m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 5, Policy: policy})
+		if err := m.Preprocess(); err != nil {
+			t.Fatal(err)
+		}
+		for idx := 0; idx < 10; idx++ {
+			want, err := m.OutlyingSubspacesOfPoint(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.QueryBatch(context.Background(), []BatchQuery{BatchIndex(idx)}, BatchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Items[0].Err != nil {
+				t.Fatal(res.Items[0].Err)
+			}
+			if !reflect.DeepEqual(res.Items[0].Result, want) {
+				t.Fatalf("policy %v point %d: batch-of-1 = %+v, single = %+v",
+					policy, idx, res.Items[0].Result, want)
+			}
+		}
+	}
+}
+
+func TestQueryBatchPartialFailure(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 1})
+	n := m.Dataset().N()
+	queries := []BatchQuery{
+		BatchIndex(0),               // ok
+		BatchIndex(n),               // out of range
+		BatchPoint([]float64{1, 2}), // wrong dimensionality
+		{},                          // zero value: invalid by construction
+		BatchIndex(-3),              // negative index
+		BatchIndex(n - 1),           // ok
+	}
+	res, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != 2 || res.Failed != 4 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/4", res.Succeeded, res.Failed)
+	}
+	for _, i := range []int{0, 5} {
+		if res.Items[i].Err != nil || res.Items[i].Result == nil {
+			t.Fatalf("item %d should have succeeded: %v", i, res.Items[i].Err)
+		}
+	}
+	wantErr := []struct {
+		idx  int
+		frag string
+	}{
+		{1, "out of range"},
+		{2, "dims"},
+		{3, "empty batch item"},
+		{4, "out of range"},
+	}
+	for _, w := range wantErr {
+		item := res.Items[w.idx]
+		if item.Err == nil || !strings.Contains(item.Err.Error(), w.frag) {
+			t.Fatalf("item %d: error %v, want mention of %q", w.idx, item.Err, w.frag)
+		}
+		if item.Result != nil {
+			t.Fatalf("item %d: failed item carries a result", w.idx)
+		}
+	}
+}
+
+func TestQueryBatchSharedCacheAmortisesDuplicates(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 2})
+	queries := make([]BatchQuery, 8)
+	for i := range queries {
+		queries[i] = BatchIndex(3)
+	}
+	// Workers: 1 makes the dedup deterministic: the first item fills
+	// the shared cache, the other seven must compute nothing.
+	res, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Items[0].Result
+	if first.ODEvaluations == 0 {
+		t.Fatal("first item computed nothing")
+	}
+	for i := 1; i < len(res.Items); i++ {
+		if got := res.Items[i].Result.ODEvaluations; got != 0 {
+			t.Fatalf("duplicate item %d recomputed %d ODs, want 0", i, got)
+		}
+	}
+	if res.Cache.Misses != first.ODEvaluations {
+		t.Fatalf("cache misses %d != first item's %d evaluations", res.Cache.Misses, first.ODEvaluations)
+	}
+	if res.Cache.Hits == 0 || res.Cache.Entries == 0 {
+		t.Fatalf("cache stats %+v show no sharing", res.Cache)
+	}
+}
+
+func TestQueryBatchCacheDisabled(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 2})
+	queries := []BatchQuery{BatchIndex(1), BatchIndex(1)}
+	res, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 1, CacheCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != (BatchCacheStats{}) {
+		t.Fatalf("disabled cache reported stats %+v", res.Cache)
+	}
+	// Both duplicates pay full price, but the answers still agree.
+	if res.Items[0].Result.ODEvaluations != res.Items[1].Result.ODEvaluations {
+		t.Fatal("items diverged with sharing disabled")
+	}
+	if !reflect.DeepEqual(res.Items[0].Result.Minimal, res.Items[1].Result.Minimal) {
+		t.Fatal("duplicate answers diverged")
+	}
+}
+
+func TestQueryBatchBoundedCacheEvicts(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 2})
+	var queries []BatchQuery
+	for i := 0; i < 30; i++ {
+		queries = append(queries, BatchIndex(i))
+	}
+	// A deliberately tiny capacity: correctness must survive constant
+	// eviction.
+	res, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 2, CacheCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d items failed", res.Failed)
+	}
+	if res.Cache.Entries > 16+sharedCacheSlack {
+		t.Fatalf("cache grew to %d entries despite capacity 16", res.Cache.Entries)
+	}
+	if res.Cache.Evictions == 0 {
+		t.Fatal("tiny cache recorded no evictions")
+	}
+	for i, item := range res.Items {
+		want, err := m.OutlyingSubspacesOfPoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(item.Result.Minimal, want.Minimal) {
+			t.Fatalf("item %d diverged under eviction pressure", i)
+		}
+	}
+}
+
+// sharedCacheSlack absorbs the ceil-division of the capacity across
+// shards (each shard rounds its own bound up).
+const sharedCacheSlack = 16
+
+func TestQueryBatchEmpty(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 1})
+	res, err := m.QueryBatch(context.Background(), nil, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 || res.Succeeded != 0 || res.Failed != 0 {
+		t.Fatalf("empty batch returned %+v", res)
+	}
+}
+
+func TestQueryBatchCancelled(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 1})
+	if err := m.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var queries []BatchQuery
+	for i := 0; i < 16; i++ {
+		queries = append(queries, BatchIndex(i))
+	}
+	if _, err := m.QueryBatch(ctx, queries, BatchOptions{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err() checks —
+// a deterministic stand-in for "the client went away mid-search".
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(checks int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(checks)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestQueryBatchCancelMidSearch(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 1})
+	if err := m.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	var queries []BatchQuery
+	for i := 0; i < 8; i++ {
+		queries = append(queries, BatchIndex(i))
+	}
+	ctx := newCountdownCtx(3)
+	if _, err := m.QueryBatch(ctx, queries, BatchOptions{Workers: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryBatchUsesSuppliedPool(t *testing.T) {
+	m := newTestMiner(t, Config{K: 4, TQuantile: 0.9, Seed: 1})
+	if err := m.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	pool := m.NewEvaluatorPool()
+	var queries []BatchQuery
+	for i := 0; i < 6; i++ {
+		queries = append(queries, BatchIndex(i))
+	}
+	if _, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 2, Pool: pool}); err != nil {
+		t.Fatal(err)
+	}
+	gets, builds := pool.Stats()
+	if gets == 0 {
+		t.Fatal("supplied pool was never used")
+	}
+	if builds > gets {
+		t.Fatalf("pool stats gets=%d builds=%d", gets, builds)
+	}
+	// A second batch borrows from the same pool. Note sync.Pool may
+	// legitimately drop idle evaluators between batches, so only the
+	// borrow accounting — not perfect reuse — is asserted.
+	if _, err := m.QueryBatch(context.Background(), queries, BatchOptions{Workers: 2, Pool: pool}); err != nil {
+		t.Fatal(err)
+	}
+	gets2, builds2 := pool.Stats()
+	if gets2 <= gets {
+		t.Fatal("second batch did not borrow from the pool")
+	}
+	if builds2 > gets2 {
+		t.Fatalf("pool stats gets=%d builds=%d", gets2, builds2)
+	}
+}
+
+// The planted outlier must surface identically through the batch path.
+func TestQueryBatchFindsPlantedOutlier(t *testing.T) {
+	planted := subspace.New(1, 3)
+	ds := plantedDataset(t, 17, 120, 5, planted)
+	m, err := NewMiner(ds, Config{K: 4, TQuantile: 0.97, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.QueryBatch(context.Background(), []BatchQuery{BatchIndex(0)}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Items[0].Result
+	if r == nil || !r.IsOutlierAnywhere {
+		t.Fatal("planted outlier not flagged through the batch path")
+	}
+	found := false
+	for _, s := range r.Minimal {
+		if s.SubsetOf(planted) || planted.SubsetOf(s) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted subspace %v not related to any minimal subspace %v", planted, r.Minimal)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,14 +64,21 @@ func (m *Miner) QueryWith(eval *od.Evaluator, point []float64, exclude int) (*Qu
 	if exclude < -1 || exclude >= m.ds.N() {
 		return nil, fmt.Errorf("core: exclude index %d out of range [-1,%d)", exclude, m.ds.N())
 	}
-	// PolicyRandom needs a rand.Rand; the Miner's own is not shareable,
-	// so derive a per-call deterministic one from an atomic sequence.
+	return m.searchOne(context.Background(), eval, point, exclude, nil)
+}
+
+// searchOne is the shared tail of QueryWith and QueryBatch: run the
+// dynamic search for one point on a caller-owned evaluator,
+// optionally consulting a batch-wide OD cache. PolicyRandom draws a
+// per-call deterministic rng from the atomic query sequence — the
+// Miner's own rand.Rand is not shareable across goroutines.
+func (m *Miner) searchOne(ctx context.Context, eval *od.Evaluator, point []float64, exclude int, shared *od.SharedCache) (*QueryResult, error) {
 	rng := m.rng
 	if m.cfg.Policy == PolicyRandom {
 		rng = newDeterministicRng(m.cfg.Seed, m.querySeq.Add(1))
 	}
-	q := eval.NewQuery(point, exclude)
-	res, err := Search(q, m.ds.Dim(), m.threshold, m.priors, m.cfg.Policy, rng)
+	q := eval.NewSharedQuery(point, exclude, shared)
+	res, err := SearchContext(ctx, q, m.ds.Dim(), m.threshold, m.priors, m.cfg.Policy, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,16 @@ type ScanOptions struct {
 // operation. Cost is N times the per-query cost; intended for
 // moderate datasets or offline runs.
 func (m *Miner) ScanAll(opts ScanOptions) ([]ScanHit, error) {
+	return m.ScanAllContext(context.Background(), opts)
+}
+
+// ScanAllContext is ScanAll with cooperative cancellation. The
+// context is checked between points and *within* each point's
+// subspace search (see SearchContext), so cancelling mid-way through
+// a high-dimensional point — whose lattice alone can cost tens of
+// thousands of OD evaluations — returns promptly instead of finishing
+// the point first. On cancellation it returns ctx.Err().
+func (m *Miner) ScanAllContext(ctx context.Context, opts ScanOptions) ([]ScanHit, error) {
 	if err := m.Preprocess(); err != nil {
 		return nil, err
 	}
@@ -45,13 +55,18 @@ func (m *Miner) ScanAll(opts ScanOptions) ([]ScanHit, error) {
 		return nil, fmt.Errorf("core: MaxResults = %d", opts.MaxResults)
 	}
 	var hits []ScanHit
-	fullSpace := subspace.Full(m.ds.Dim())
+	d := m.ds.Dim()
+	fullSpace := subspace.Full(d)
 	for i := 0; i < m.ds.N(); i++ {
-		res, err := m.OutlyingSubspacesOfPoint(i)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		q := m.eval.NewQueryForPoint(i)
+		res, err := SearchContext(ctx, q, d, m.threshold, m.priors, m.cfg.Policy, m.rng)
 		if err != nil {
 			return nil, err
 		}
-		if !res.IsOutlierAnywhere {
+		if len(res.Outlying) == 0 {
 			continue
 		}
 		hits = append(hits, ScanHit{
@@ -81,7 +96,8 @@ func (m *Miner) ScanAllParallel(opts ScanOptions, workers int) ([]ScanHit, error
 }
 
 // ScanAllParallelContext is ScanAllParallel with cooperative
-// cancellation: workers check ctx between points and the scan returns
+// cancellation: workers check ctx between points and inside each
+// point's subspace search (SearchContext), so the scan returns
 // ctx.Err() promptly once it is cancelled — what lets a serving layer
 // reclaim the cores of an abandoned scan instead of finishing a sweep
 // nobody will read.
@@ -123,7 +139,7 @@ func (m *Miner) ScanAllParallelContext(ctx context.Context, opts ScanOptions, wo
 					return
 				}
 				q := eval.NewQueryForPoint(i)
-				res, err := Search(q, d, m.threshold, m.priors, m.cfg.Policy, rng)
+				res, err := SearchContext(ctx, q, d, m.threshold, m.priors, m.cfg.Policy, rng)
 				if err != nil {
 					errs[worker] = err
 					return

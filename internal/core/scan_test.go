@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/subspace"
 )
@@ -150,5 +153,94 @@ func TestScanAllParallelValidation(t *testing.T) {
 	m, _ := NewMiner(ds, Config{K: 3, TQuantile: 0.9, Seed: 1})
 	if _, err := m.ScanAllParallel(ScanOptions{MaxResults: -1}, 2); err == nil {
 		t.Fatal("negative MaxResults accepted")
+	}
+}
+
+// midPointScanMiner builds a miner whose per-point search is a full
+// 2^d-1 lattice sweep: an absurd absolute threshold means nothing is
+// ever an outlier, so upward pruning never fires and (bottom-up)
+// every subspace of every point is evaluated — 16383 OD evaluations
+// per point at d = 14.
+func midPointScanMiner(t *testing.T) *Miner {
+	t.Helper()
+	ds := plantedDataset(t, 91, 60, 14, subspace.New(0))
+	m, err := NewMiner(ds, Config{K: 3, T: 1e18, Policy: PolicyBottomUp, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// ScanAllContext must notice cancellation *inside* a point's subspace
+// search, not only at point boundaries. The countdown context expires
+// after a handful of checks — far fewer than one point's sweep makes —
+// so if the scan returns having evaluated anywhere near a full
+// lattice, the mid-point check is broken.
+func TestScanAllContextCancelsMidPoint(t *testing.T) {
+	m := midPointScanMiner(t)
+	ctx := newCountdownCtx(8)
+	if _, err := m.ScanAllContext(ctx, ScanOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	perPoint := int64(1)<<14 - 1
+	if got := m.eval.Evaluations(); got >= perPoint {
+		t.Fatalf("scan performed %d OD evaluations before cancelling; a full first point is %d — cancellation was not mid-point", got, perPoint)
+	}
+}
+
+func TestScanAllContextPreCancelled(t *testing.T) {
+	m := midPointScanMiner(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ScanAllContext(ctx, ScanOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := m.eval.Evaluations(); got != 0 {
+		t.Fatalf("pre-cancelled scan still evaluated %d ODs", got)
+	}
+}
+
+func TestScanAllParallelContextCancelsMidPoint(t *testing.T) {
+	m := midPointScanMiner(t)
+	ctx := newCountdownCtx(8)
+	start := time.Now()
+	if _, err := m.ScanAllParallelContext(ctx, ScanOptions{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 8 countdown checks cover well under one point's sweep per
+	// worker; finishing even one full point would take far longer than
+	// this generous bound.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled parallel scan took %v", elapsed)
+	}
+}
+
+// ScanAllContext with an unconstrained context must agree exactly
+// with ScanAll (it *is* ScanAll).
+func TestScanAllContextMatchesScanAll(t *testing.T) {
+	planted := subspace.New(0, 2)
+	ds := plantedDataset(t, 52, 90, 4, planted)
+	m, err := NewMiner(ds, Config{K: 4, TQuantile: 0.95, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.ScanAll(ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ScanAllContext(context.Background(), ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d hits vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || !masksEqual(a[i].Minimal, b[i].Minimal) {
+			t.Fatalf("hit %d differs", i)
+		}
 	}
 }

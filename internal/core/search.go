@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -78,6 +79,21 @@ type SearchResult struct {
 //	policy  layer ordering (PolicyTSF for HOS-Miner proper)
 //	rng     used only by PolicyRandom (may be nil otherwise)
 func Search(q *od.Query, d int, T float64, priors Priors, policy Policy, rng *rand.Rand) (*SearchResult, error) {
+	return SearchContext(context.Background(), q, d, T, priors, policy, rng)
+}
+
+// searchCtxStride is how many OD evaluations a layer sweep performs
+// between context checks. Each evaluation is a full k-NN search
+// (O(N·d) at least), so the check overhead is negligible while
+// cancellation latency stays bounded by a handful of evaluations.
+const searchCtxStride = 16
+
+// SearchContext is Search with cooperative cancellation: ctx is
+// checked before every layer and every searchCtxStride OD evaluations
+// within a layer, so an abandoned caller stops paying mid-point
+// instead of after finishing the current point's whole lattice. On
+// cancellation it returns ctx.Err().
+func SearchContext(ctx context.Context, q *od.Query, d int, T float64, priors Priors, policy Policy, rng *rand.Rand) (*SearchResult, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: nil query")
 	}
@@ -100,12 +116,24 @@ func Search(q *od.Query, d int, T float64, priors Priors, policy Policy, rng *ra
 
 	res := &SearchResult{}
 	for !tr.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m, ok := nextLayer(tr, priors, policy, rng)
 		if !ok {
 			break // defensive: cannot happen while !Done
 		}
 		res.LayerOrder = append(res.LayerOrder, m)
+		var ctxErr error
+		evals := 0
 		tr.EachUnknownInLayer(m, func(s subspace.Mask) bool {
+			if evals%searchCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
+			evals++
 			if q.OD(s) >= T {
 				tr.MarkOutlier(s, true)
 			} else {
@@ -113,6 +141,9 @@ func Search(q *od.Query, d int, T float64, priors Priors, policy Policy, rng *ra
 			}
 			return true
 		})
+		if ctxErr != nil {
+			return nil, ctxErr
+		}
 	}
 
 	res.Outlying = tr.Outliers()

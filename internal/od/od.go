@@ -142,15 +142,24 @@ func normalizeSum(sum float64, m vector.Metric, s subspace.Mask) float64 {
 
 // Query is a per-point OD cache. HOS-Miner's dynamic search may probe
 // a subspace more than once across phases; the cache makes the second
-// probe free and exposes an exact count of distinct evaluations.
+// probe free and exposes an exact count of distinct evaluations. A
+// Query built by NewSharedQuery additionally consults (and populates)
+// a batch-wide SharedCache before computing, so identical probes from
+// sibling queries in the same batch are also free.
 type Query struct {
 	eval    *Evaluator
 	point   []float64
 	exclude int
 	cache   map[subspace.Mask]float64
 
-	hits   int64
-	misses int64
+	// shared is the optional batch-wide second-level cache; skey is
+	// this point's identity within it (computed once at construction).
+	shared *SharedCache
+	skey   string
+
+	hits       int64
+	misses     int64
+	sharedHits int64
 }
 
 // NewQuery prepares a cached OD oracle for one query point. exclude
@@ -164,6 +173,18 @@ func (e *Evaluator) NewQuery(point []float64, exclude int) *Query {
 	}
 }
 
+// NewSharedQuery is NewQuery with a batch-wide second-level OD memo.
+// A nil shared degrades to exactly NewQuery. The Query itself remains
+// single-goroutine; only the SharedCache is safe to share.
+func (e *Evaluator) NewSharedQuery(point []float64, exclude int, shared *SharedCache) *Query {
+	q := e.NewQuery(point, exclude)
+	if shared != nil {
+		q.shared = shared
+		q.skey = pointKey(q.point, exclude)
+	}
+	return q
+}
+
 // NewQueryForPoint prepares a cached OD oracle for dataset point idx.
 func (e *Evaluator) NewQueryForPoint(idx int) *Query {
 	return e.NewQuery(e.ds.Point(idx), idx)
@@ -175,14 +196,32 @@ func (q *Query) OD(s subspace.Mask) float64 {
 		q.hits++
 		return v
 	}
+	if q.shared != nil {
+		if v, ok := q.shared.get(sharedKey{point: q.skey, mask: s}); ok {
+			q.sharedHits++
+			q.cache[s] = v
+			return v
+		}
+	}
 	q.misses++
 	v := q.eval.OD(q.point, s, q.exclude)
 	q.cache[s] = v
+	if q.shared != nil {
+		q.shared.put(sharedKey{point: q.skey, mask: s}, v)
+	}
 	return v
 }
 
 // Point returns a copy of the query point.
 func (q *Query) Point() []float64 { return append([]float64(nil), q.point...) }
 
-// CacheStats returns (hits, misses).
+// CacheStats returns (hits, misses): hits answered by this Query's own
+// cache and misses that required a fresh OD computation. Probes
+// answered by a shared batch cache count in neither (see SharedHits),
+// so misses remains an exact count of the OD computations this Query
+// performed itself.
 func (q *Query) CacheStats() (hits, misses int64) { return q.hits, q.misses }
+
+// SharedHits returns how many probes were answered by the batch-wide
+// shared cache (always 0 for a Query built by NewQuery).
+func (q *Query) SharedHits() int64 { return q.sharedHits }

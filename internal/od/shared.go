@@ -1,0 +1,180 @@
+package od
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/subspace"
+)
+
+// DefaultSharedCacheCapacity is the entry bound NewSharedCache applies
+// when the caller passes 0. At 16 bytes of payload per entry (plus map
+// overhead) the default keeps a batch's memo comfortably under a few
+// MiB.
+const DefaultSharedCacheCapacity = 1 << 16
+
+// sharedShards is the fixed shard count of a SharedCache. Sharding by
+// key hash keeps concurrent batch workers from serialising on one
+// mutex.
+const sharedShards = 16
+
+// sharedKey identifies one memoised OD value: the query point's
+// identity (see pointKey) plus the subspace it was evaluated in.
+type sharedKey struct {
+	point string
+	mask  subspace.Mask
+}
+
+type sharedShard struct {
+	mu sync.Mutex
+	m  map[sharedKey]float64
+}
+
+// SharedCache is a bounded, concurrency-safe memo of OD evaluations
+// keyed by (point, subspace mask), shared by the Query instances of
+// one batch. Duplicate queries — the common shape of multi-user
+// traffic — then pay for each distinct (point, subspace) evaluation
+// once per batch instead of once per request.
+//
+// The cache stores the OD value itself, i.e. the reduction of the
+// point's k-NN neighbourhood in that subspace; since OD is the only
+// consumer of neighbourhoods on the query path, memoising the value
+// subsumes memoising the neighbour set. Eviction is random-replacement
+// per shard: cheap, concurrency-friendly, and — because OD values are
+// deterministic — only ever a performance concern, never a
+// correctness one.
+type SharedCache struct {
+	shards    [sharedShards]sharedShard
+	shardCap  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewSharedCache builds a cache bounded to roughly capacity entries
+// (0 selects DefaultSharedCacheCapacity, negative returns nil —
+// caching disabled; a nil *SharedCache is valid everywhere one is
+// accepted).
+func NewSharedCache(capacity int) *SharedCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultSharedCacheCapacity
+	}
+	per := (capacity + sharedShards - 1) / sharedShards
+	if per < 1 {
+		per = 1
+	}
+	c := &SharedCache{shardCap: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[sharedKey]float64)
+	}
+	return c
+}
+
+// shardFor hashes the key onto a shard (FNV-1a over the point bytes
+// and the mask).
+func (c *SharedCache) shardFor(k sharedKey) *sharedShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.point); i++ {
+		h = (h ^ uint64(k.point[i])) * prime64
+	}
+	h = (h ^ uint64(k.mask)) * prime64
+	return &c.shards[h%sharedShards]
+}
+
+// get looks up a memoised OD value, counting the outcome.
+func (c *SharedCache) get(k sharedKey) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// put memoises an OD value, evicting an arbitrary resident entry when
+// the shard is full.
+func (c *SharedCache) put(k sharedKey, v float64) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if _, ok := sh.m[k]; !ok && len(sh.m) >= c.shardCap {
+		for victim := range sh.m {
+			delete(sh.m, victim)
+			break
+		}
+		c.evictions.Add(1)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// SharedCacheStats is a point-in-time counter snapshot of a
+// SharedCache.
+type SharedCacheStats struct {
+	// Hits and Misses count lookups by Query instances attached to the
+	// cache; Misses therefore equals the number of OD computations the
+	// batch actually performed through shared queries.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries displaced by the capacity bound.
+	Evictions int64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// Stats snapshots the cache counters. A nil cache reports zeros.
+func (c *SharedCache) Stats() SharedCacheStats {
+	if c == nil {
+		return SharedCacheStats{}
+	}
+	st := SharedCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		st.Entries += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return st
+}
+
+// pointKey serialises a query point's identity. Dataset members are
+// identified by their row index (which also pins the self-exclusion
+// semantics); external points by the exact bit pattern of their
+// coordinates — the same exactness-over-cleverness rule as the
+// server's result-cache key. The two forms are prefixed so an
+// external point can never collide with a row index.
+func pointKey(point []float64, exclude int) string {
+	if exclude >= 0 {
+		var buf [9]byte
+		buf[0] = 'i'
+		binary.LittleEndian.PutUint64(buf[1:], uint64(int64(exclude)))
+		return string(buf[:])
+	}
+	buf := make([]byte, 1+8*len(point))
+	buf[0] = 'p'
+	for i, v := range point {
+		binary.LittleEndian.PutUint64(buf[1+8*i:], math.Float64bits(v))
+	}
+	return string(buf)
+}

@@ -1,0 +1,179 @@
+package od
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/subspace"
+)
+
+func randomRows(seed int64, n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// A shared query must return the same values as a plain query, and a
+// second shared query for the same point must be answered from the
+// cache without recomputation.
+func TestSharedQueryMatchesPlainQuery(t *testing.T) {
+	e := newEval(t, randomRows(3, 60, 6), 4, NormNone)
+	sc := NewSharedCache(0)
+
+	plain := e.NewQueryForPoint(7)
+	first := e.NewSharedQuery(e.Dataset().Point(7), 7, sc)
+	second := e.NewSharedQuery(e.Dataset().Point(7), 7, sc)
+
+	var masks []subspace.Mask
+	subspace.EachAll(6, func(s subspace.Mask) bool {
+		masks = append(masks, s)
+		return true
+	})
+	for _, s := range masks {
+		want := plain.OD(s)
+		if got := first.OD(s); got != want {
+			t.Fatalf("first shared query OD(%v) = %v, plain %v", s, got, want)
+		}
+	}
+	for _, s := range masks {
+		if got := second.OD(s); got != plain.OD(s) {
+			t.Fatalf("second shared query diverged on %v", s)
+		}
+	}
+	if _, misses := second.CacheStats(); misses != 0 {
+		t.Fatalf("second query recomputed %d ODs, want 0", misses)
+	}
+	if second.SharedHits() != int64(len(masks)) {
+		t.Fatalf("second query shared hits = %d, want %d", second.SharedHits(), len(masks))
+	}
+	st := sc.Stats()
+	if st.Hits != int64(len(masks)) || st.Misses != int64(len(masks)) {
+		t.Fatalf("cache stats %+v, want %d hits and misses", st, len(masks))
+	}
+}
+
+// Distinct exclusion semantics must never share entries: dataset
+// member 0 queried as itself (self-excluded) and the same coordinates
+// queried as an external point have different neighbourhoods.
+func TestSharedCacheSeparatesMemberFromExternal(t *testing.T) {
+	rows := randomRows(5, 30, 4)
+	e := newEval(t, rows, 3, NormNone)
+	sc := NewSharedCache(0)
+	s := subspace.Full(4)
+
+	member := e.NewSharedQuery(rows[0], 0, sc)
+	external := e.NewSharedQuery(rows[0], -1, sc)
+	vm := member.OD(s)
+	ve := external.OD(s)
+	if external.SharedHits() != 0 {
+		t.Fatal("external point was answered from the member's cache entry")
+	}
+	// The member excludes itself; the external clone counts the member
+	// as a zero-distance neighbour, so its OD must be strictly smaller.
+	if ve >= vm {
+		t.Fatalf("external OD %v not below member OD %v", ve, vm)
+	}
+}
+
+func TestSharedCacheBounded(t *testing.T) {
+	sc := NewSharedCache(32)
+	for i := 0; i < 1000; i++ {
+		sc.put(sharedKey{point: string(rune(i)), mask: subspace.Mask(1)}, float64(i))
+	}
+	st := sc.Stats()
+	// Capacity is apportioned per shard with ceil division, so allow
+	// one extra entry per shard.
+	if st.Entries > 32+sharedShards {
+		t.Fatalf("cache holds %d entries, capacity 32", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("overfull cache evicted nothing")
+	}
+}
+
+func TestSharedCacheNilSafe(t *testing.T) {
+	var sc *SharedCache
+	if _, ok := sc.get(sharedKey{point: "x", mask: 1}); ok {
+		t.Fatal("nil cache hit")
+	}
+	sc.put(sharedKey{point: "x", mask: 1}, 1)
+	if st := sc.Stats(); st != (SharedCacheStats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+	if NewSharedCache(-1) != nil {
+		t.Fatal("negative capacity did not disable the cache")
+	}
+	// A query built with a nil shared cache is a plain query.
+	e := newEval(t, randomRows(1, 20, 3), 2, NormNone)
+	q := e.NewSharedQuery(e.Dataset().Point(0), 0, nil)
+	q.OD(subspace.Full(3))
+	if q.SharedHits() != 0 {
+		t.Fatal("nil-shared query recorded shared hits")
+	}
+}
+
+// Hammer one shared cache from many goroutines, each with its own
+// evaluator (the Evaluator itself is single-goroutine by contract);
+// run under -race this is the memory-safety test for the per-batch
+// cache. Two regimes: a roomy cache where sharing is guaranteed
+// (every point is probed by several workers and nothing is evicted,
+// so Hits > 0 deterministically), and a tiny cache where constant
+// concurrent eviction must never corrupt a value — there the hit
+// count is timing-dependent and deliberately not asserted.
+func TestSharedCacheConcurrent(t *testing.T) {
+	t.Run("sharing", func(t *testing.T) { hammerSharedCache(t, NewSharedCache(0), true) })
+	t.Run("eviction-pressure", func(t *testing.T) { hammerSharedCache(t, NewSharedCache(64), false) })
+}
+
+func hammerSharedCache(t *testing.T, sc *SharedCache, wantHits bool) {
+	rows := randomRows(9, 80, 5)
+	const workers = 8
+	evals := make([]*Evaluator, workers)
+	checks := make([]*Evaluator, workers)
+	for w := range evals {
+		evals[w] = newEval(t, rows, 4, NormNone)
+		checks[w] = newEval(t, rows, 4, NormNone)
+	}
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			e, check := evals[worker], checks[worker]
+			for i := 0; i < 40; i++ {
+				idx := (worker + i) % e.Dataset().N()
+				q := e.NewSharedQuery(e.Dataset().Point(idx), idx, sc)
+				ok := true
+				subspace.EachAll(5, func(s subspace.Mask) bool {
+					want := check.OD(check.Dataset().Point(idx), s, idx)
+					if got := q.OD(s); got != want {
+						fail <- "shared cache returned a wrong OD value"
+						ok = false
+					}
+					return ok
+				})
+				if !ok {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	st := sc.Stats()
+	if wantHits && st.Hits == 0 {
+		t.Fatal("concurrent duplicate queries produced no sharing")
+	}
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// POST /batch evaluates many outlying-subspace queries as one request
+// through core.QueryBatch: one evaluator pool, one shared bounded
+// per-batch OD cache, bounded worker fan-out. Items that are already
+// in the server's result LRU are answered from it without touching
+// the engine; computed items seed the LRU so follow-up /query traffic
+// hits. Item-level failures (bad index, wrong dimensionality) are
+// reported per item and do not fail the batch.
+
+type batchRequest struct {
+	Items []batchRequestItem `json:"items"`
+	// Workers overrides the per-batch fan-out (clamped to the server's
+	// BatchWorkers bound).
+	Workers int `json:"workers,omitempty"`
+}
+
+type batchRequestItem struct {
+	// Exactly one of Index (dataset row) or Point (ad-hoc vector) must
+	// be set, as in /query.
+	Index *int      `json:"index,omitempty"`
+	Point []float64 `json:"point,omitempty"`
+}
+
+type batchItemResponse struct {
+	Index         *int      `json:"index,omitempty"`
+	Point         []float64 `json:"point,omitempty"`
+	Error         string    `json:"error,omitempty"`
+	IsOutlier     bool      `json:"is_outlier"`
+	Minimal       [][]int   `json:"minimal"`
+	OutlyingCount int       `json:"outlying_count"`
+	ODEvaluations int64     `json:"od_evaluations"`
+	Cached        bool      `json:"cached"`
+}
+
+type batchResponse struct {
+	Results   []batchItemResponse `json:"results"`
+	Succeeded int                 `json:"succeeded"`
+	Failed    int                 `json:"failed"`
+	Threshold float64             `json:"threshold"`
+	// ResultCacheHits counts items answered from the server's LRU;
+	// the OD* fields are the shared per-batch OD cache accounting.
+	ResultCacheHits int64   `json:"result_cache_hits"`
+	ODCacheHits     int64   `json:"od_cache_hits"`
+	ODCacheMisses   int64   `json:"od_cache_misses"`
+	ElapsedMs       float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		s.error(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > s.opts.MaxBatchItems {
+		s.error(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d items, limit is %d", len(req.Items), s.opts.MaxBatchItems))
+		return
+	}
+	if req.Workers < 0 {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("workers = %d", req.Workers))
+		return
+	}
+	maxWorkers := s.opts.BatchWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	workers := req.Workers
+	if workers == 0 || workers > maxWorkers {
+		workers = maxWorkers
+	}
+
+	// Validate items and split them into LRU hits and engine work
+	// before taking the batch slot: a fully-cached batch costs nothing.
+	resp := &batchResponse{
+		Results:   make([]batchItemResponse, len(req.Items)),
+		Threshold: s.miner.Threshold(),
+	}
+	var queries []core.BatchQuery // engine work, in compacted order
+	var queryPos []int            // queries[j] answers Results[queryPos[j]]
+	keys := make([]string, len(req.Items))
+	for i, item := range req.Items {
+		out := &resp.Results[i]
+		point, exclude, emsg := s.resolveQueryTarget(item.Index, item.Point)
+		if emsg != "" {
+			out.Error = emsg
+			continue
+		}
+		if exclude >= 0 {
+			out.Index = item.Index
+		} else {
+			out.Point = append([]float64(nil), point...)
+		}
+		keys[i] = cacheKey(point, exclude)
+		if cached, ok := s.cache.get(keys[i]); ok {
+			out.IsOutlier = cached.IsOutlier
+			out.Minimal = cached.Minimal
+			out.OutlyingCount = cached.OutlyingCount
+			out.ODEvaluations = cached.ODEvaluations
+			out.Cached = true
+			resp.ResultCacheHits++
+			continue
+		}
+		if exclude >= 0 {
+			queries = append(queries, core.BatchIndex(exclude))
+		} else {
+			queries = append(queries, core.BatchPoint(point))
+		}
+		queryPos = append(queryPos, i)
+	}
+
+	if len(queries) > 0 {
+		select {
+		case s.batchSem <- struct{}{}:
+		default:
+			s.error(w, http.StatusTooManyRequests,
+				fmt.Sprintf("batch limit (%d concurrent) reached, retry later", s.opts.MaxConcurrentBatches))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.BatchTimeout)
+		defer cancel()
+
+		type outcome struct {
+			res *core.BatchResult
+			err error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			defer func() { <-s.batchSem }()
+			res, err := s.miner.QueryBatch(ctx, queries, core.BatchOptions{
+				Workers: workers,
+				Pool:    s.pool,
+			})
+			done <- outcome{res, err}
+		}()
+
+		var res *core.BatchResult
+		select {
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.error(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("batch exceeded the %s deadline", s.opts.BatchTimeout))
+			} else {
+				s.error(w, http.StatusServiceUnavailable, "request cancelled")
+			}
+			return
+		case o := <-done:
+			if o.err != nil {
+				// QueryBatch is ctx-aware, so a deadline/cancel can surface
+				// through its error rather than ctx.Done() when both are
+				// ready; keep the status 503 either way.
+				switch {
+				case errors.Is(o.err, context.DeadlineExceeded):
+					s.error(w, http.StatusServiceUnavailable,
+						fmt.Sprintf("batch exceeded the %s deadline", s.opts.BatchTimeout))
+				case errors.Is(o.err, context.Canceled):
+					s.error(w, http.StatusServiceUnavailable, "request cancelled")
+				default:
+					s.error(w, http.StatusInternalServerError, o.err.Error())
+				}
+				return
+			}
+			res = o.res
+		}
+
+		for j, item := range res.Items {
+			out := &resp.Results[queryPos[j]]
+			if item.Err != nil {
+				out.Error = item.Err.Error()
+				continue
+			}
+			qr := item.Result
+			out.IsOutlier = qr.IsOutlierAnywhere
+			out.Minimal = masksToDims(qr.Minimal)
+			out.OutlyingCount = len(qr.Outlying)
+			out.ODEvaluations = qr.ODEvaluations
+			s.stats.odEvals.Add(qr.ODEvaluations)
+			// Seed the LRU so follow-up /query (and /batch) traffic for
+			// the same key hits, applying the same oversized-mask-set
+			// rule as /query.
+			toCache := &queryResponse{
+				Index:         out.Index,
+				Point:         out.Point,
+				Threshold:     qr.Threshold,
+				IsOutlier:     qr.IsOutlierAnywhere,
+				Minimal:       out.Minimal,
+				OutlyingCount: len(qr.Outlying),
+				ODEvaluations: qr.ODEvaluations,
+				outlyingMasks: qr.Outlying,
+			}
+			if s.opts.MaxCachedMasks > 0 && len(qr.Outlying) > s.opts.MaxCachedMasks {
+				toCache.outlyingMasks = nil
+			}
+			s.cache.put(keys[queryPos[j]], toCache)
+		}
+		resp.ODCacheHits = res.Cache.Hits
+		resp.ODCacheMisses = res.Cache.Misses
+		s.stats.batchODCacheHits.Add(res.Cache.Hits)
+		s.stats.batchODCacheMisses.Add(res.Cache.Misses)
+	}
+
+	for i := range resp.Results {
+		if resp.Results[i].Error != "" {
+			resp.Failed++
+		} else {
+			resp.Succeeded++
+		}
+	}
+	resp.ElapsedMs = msSince(start)
+	s.stats.batches.Add(1)
+	s.stats.batchItems.Add(int64(len(req.Items)))
+	s.writeJSON(w, http.StatusOK, resp)
+}

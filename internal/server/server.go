@@ -4,6 +4,7 @@
 // calls for. Endpoints:
 //
 //	POST /query    outlying subspaces of a dataset row or ad-hoc vector
+//	POST /batch    many queries at once through a shared per-batch OD cache
 //	POST /scan     bounded whole-dataset sweep with severity ranking
 //	GET  /state    export the preprocessed state (threshold + priors)
 //	GET  /healthz  liveness + dataset summary
@@ -79,6 +80,18 @@ type Options struct {
 	// is dropped from the entry, so an include_all request for that
 	// key recomputes instead of hitting.
 	MaxCachedMasks int
+	// MaxBatchItems caps the item count of one /batch request
+	// (default 256).
+	MaxBatchItems int
+	// BatchTimeout bounds one /batch computation (default 1min).
+	BatchTimeout time.Duration
+	// BatchWorkers caps the per-batch evaluation fan-out; client
+	// requests asking for more are clamped (default GOMAXPROCS).
+	BatchWorkers int
+	// MaxConcurrentBatches bounds simultaneously computing batches;
+	// excess requests get 429 (default 2). Fully-cached batches never
+	// take a slot.
+	MaxConcurrentBatches int
 }
 
 func (o *Options) setDefaults() {
@@ -109,6 +122,15 @@ func (o *Options) setDefaults() {
 	if o.MaxCachedMasks == 0 {
 		o.MaxCachedMasks = 16384
 	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 256
+	}
+	if o.BatchTimeout <= 0 {
+		o.BatchTimeout = time.Minute
+	}
+	if o.MaxConcurrentBatches <= 0 {
+		o.MaxConcurrentBatches = 2
+	}
 }
 
 // Server is the HTTP face of one preprocessed Miner.
@@ -120,6 +142,7 @@ type Server struct {
 	stats    *serverStats
 	scanSem  chan struct{}
 	querySem chan struct{}
+	batchSem chan struct{}
 	mux      *http.ServeMux
 	started  time.Time
 }
@@ -144,10 +167,12 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 		stats:    newServerStats(opts.LatencyWindow),
 		scanSem:  make(chan struct{}, opts.MaxConcurrentScans),
 		querySem: make(chan struct{}, opts.MaxConcurrentQueries),
+		batchSem: make(chan struct{}, opts.MaxConcurrentBatches),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /scan", s.handleScan)
 	s.mux.HandleFunc("GET /state", s.handleState)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -242,33 +267,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	var point []float64
-	exclude := -1
-	switch {
-	case req.Index != nil && req.Point != nil:
-		s.error(w, http.StatusBadRequest, "set exactly one of \"index\" and \"point\"")
-		return
-	case req.Index != nil:
-		idx := *req.Index
-		if idx < 0 || idx >= s.miner.Dataset().N() {
-			s.error(w, http.StatusBadRequest,
-				fmt.Sprintf("index %d out of range [0,%d)", idx, s.miner.Dataset().N()))
-			return
-		}
-		point = s.miner.Dataset().Point(idx)
-		exclude = idx
-	case req.Point != nil:
-		if len(req.Point) != s.miner.Dataset().Dim() {
-			s.error(w, http.StatusBadRequest,
-				fmt.Sprintf("point has %d dims, dataset has %d", len(req.Point), s.miner.Dataset().Dim()))
-			return
-		}
-		point = req.Point
-		if s.opts.PointTransform != nil {
-			point = s.opts.PointTransform(point)
-		}
-	default:
-		s.error(w, http.StatusBadRequest, "set one of \"index\" (dataset row) or \"point\" (vector)")
+	point, exclude, emsg := s.resolveQueryTarget(req.Index, req.Point)
+	if emsg != "" {
+		s.error(w, http.StatusBadRequest, emsg)
 		return
 	}
 
@@ -525,6 +526,35 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// resolveQueryTarget turns a request's (index, point) pair — exactly
+// one must be set — into the evaluation point and self-exclusion
+// index, applying PointTransform to ad-hoc vectors. It is the single
+// definition of request-level target validation, shared by /query and
+// every /batch item. A non-empty errMsg is a client error.
+func (s *Server) resolveQueryTarget(index *int, point []float64) (pt []float64, exclude int, errMsg string) {
+	ds := s.miner.Dataset()
+	switch {
+	case index != nil && point != nil:
+		return nil, -1, "set exactly one of \"index\" and \"point\""
+	case index != nil:
+		idx := *index
+		if idx < 0 || idx >= ds.N() {
+			return nil, -1, fmt.Sprintf("index %d out of range [0,%d)", idx, ds.N())
+		}
+		return ds.Point(idx), idx, ""
+	case point != nil:
+		if len(point) != ds.Dim() {
+			return nil, -1, fmt.Sprintf("point has %d dims, dataset has %d", len(point), ds.Dim())
+		}
+		if s.opts.PointTransform != nil {
+			point = s.opts.PointTransform(point)
+		}
+		return point, -1, ""
+	default:
+		return nil, -1, "set one of \"index\" (dataset row) or \"point\" (vector)"
+	}
 }
 
 // decodeBody parses the JSON request body under the configured size

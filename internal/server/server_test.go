@@ -516,3 +516,273 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatal("cache hits counted with caching disabled")
 	}
 }
+
+func TestBatchEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	n := s.miner.Dataset().N()
+	point := s.miner.Dataset().Point(2)
+	buf, _ := json.Marshal(map[string]any{"items": []map[string]any{
+		{"index": 0},
+		{"index": 7},
+		{"point": point},
+		{"index": n},            // out of range -> per-item error
+		{"point": []float64{1}}, // wrong dims -> per-item error
+	}})
+	var resp batchResponse
+	rec := do(t, s.Handler(), "POST", "/batch", string(buf), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Succeeded != 3 || resp.Failed != 2 {
+		t.Fatalf("succeeded/failed = %d/%d, want 3/2", resp.Succeeded, resp.Failed)
+	}
+	if resp.Threshold != s.miner.Threshold() {
+		t.Fatalf("threshold %v, want %v", resp.Threshold, s.miner.Threshold())
+	}
+	if !strings.Contains(resp.Results[3].Error, "out of range") {
+		t.Fatalf("item 3 error = %q", resp.Results[3].Error)
+	}
+	if !strings.Contains(resp.Results[4].Error, "dims") {
+		t.Fatalf("item 4 error = %q", resp.Results[4].Error)
+	}
+	// Every successful item must agree with the single-query path.
+	eval, err := s.miner.NewWorkerEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range []int{0, 7} {
+		want, err := s.miner.QueryPointWith(eval, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Results[i]
+		if !reflect.DeepEqual(got.Minimal, masksToDims(want.Minimal)) ||
+			got.IsOutlier != want.IsOutlierAnywhere ||
+			got.OutlyingCount != len(want.Outlying) {
+			t.Fatalf("item %d diverged from library query", i)
+		}
+	}
+	wantExt, err := s.miner.QueryWith(eval, point, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Results[2].Minimal, masksToDims(wantExt.Minimal)) {
+		t.Fatal("external point item diverged from library query")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s := newTestServer(t, Options{MaxBatchItems: 3})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty batch", `{}`, http.StatusBadRequest},
+		{"no items", `{"items": []}`, http.StatusBadRequest},
+		{"too many items", `{"items": [{"index":0},{"index":1},{"index":2},{"index":3}]}`, http.StatusBadRequest},
+		{"negative workers", `{"items": [{"index":0}], "workers": -1}`, http.StatusBadRequest},
+		{"unknown field", `{"items": [{"index":0}], "bogus": 1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, s.Handler(), "POST", "/batch", c.body, nil)
+		if rec.Code != c.status {
+			t.Errorf("%s: status %d, want %d (body %s)", c.name, rec.Code, c.status, rec.Body.String())
+		}
+	}
+	// Ambiguous and empty items fail per-item, not per-request.
+	point := s.miner.Dataset().Point(0)
+	buf, _ := json.Marshal(map[string]any{"items": []map[string]any{
+		{"index": 0, "point": point},
+		{},
+	}})
+	var resp batchResponse
+	rec := do(t, s.Handler(), "POST", "/batch", string(buf), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Failed != 2 || resp.Succeeded != 0 {
+		t.Fatalf("succeeded/failed = %d/%d, want 0/2", resp.Succeeded, resp.Failed)
+	}
+}
+
+// /batch and /query share the result LRU in both directions.
+func TestBatchResultCacheInterplay(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	// Seed index 1 through /query.
+	if rec := do(t, h, "POST", "/query", `{"index": 1}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("query status %d", rec.Code)
+	}
+	var resp batchResponse
+	rec := do(t, h, "POST", "/batch", `{"items": [{"index": 1}, {"index": 2}]}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !resp.Results[0].Cached || resp.ResultCacheHits != 1 {
+		t.Fatalf("previously queried item not served from LRU: %+v", resp)
+	}
+	if resp.Results[1].Cached {
+		t.Fatal("fresh item claimed to be cached")
+	}
+	// The batch-computed item must now hit on /query.
+	var q queryResponse
+	rec = do(t, h, "POST", "/query", `{"index": 2}`, &q)
+	if rec.Code != http.StatusOK || !q.Cached {
+		t.Fatalf("batch result did not seed the query cache (status %d, cached %v)", rec.Code, q.Cached)
+	}
+	// A fully-cached batch takes no batch slot and recomputes nothing.
+	resp = batchResponse{}
+	rec = do(t, h, "POST", "/batch", `{"items": [{"index": 1}, {"index": 2}]}`, &resp)
+	if rec.Code != http.StatusOK || resp.ResultCacheHits != 2 || resp.ODCacheMisses != 0 {
+		t.Fatalf("fully-cached batch recomputed: %+v", resp)
+	}
+}
+
+func TestBatchDuplicatesShareODWork(t *testing.T) {
+	// Disable the result LRU so every item goes through the engine and
+	// the sharing must come from the per-batch OD cache alone.
+	s := newTestServer(t, Options{CacheSize: -1})
+	items := make([]map[string]any, 12)
+	for i := range items {
+		items[i] = map[string]any{"index": 4}
+	}
+	buf, _ := json.Marshal(map[string]any{"items": items, "workers": 1})
+	var resp batchResponse
+	rec := do(t, s.Handler(), "POST", "/batch", string(buf), &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Succeeded != len(items) {
+		t.Fatalf("succeeded = %d, want %d", resp.Succeeded, len(items))
+	}
+	if resp.ODCacheHits == 0 {
+		t.Fatal("duplicate items produced no OD cache hits")
+	}
+	if resp.Results[0].ODEvaluations == 0 {
+		t.Fatal("first duplicate computed nothing")
+	}
+	for i := 1; i < len(items); i++ {
+		if resp.Results[i].ODEvaluations != 0 {
+			t.Fatalf("duplicate item %d recomputed %d ODs", i, resp.Results[i].ODEvaluations)
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.BatchItems != int64(len(items)) {
+		t.Fatalf("stats batches/items = %d/%d", st.Batches, st.BatchItems)
+	}
+	if st.BatchODHits != resp.ODCacheHits || st.BatchODMisses != resp.ODCacheMisses {
+		t.Fatalf("stats OD cache counters diverge from response: %+v vs %+v", st, resp)
+	}
+}
+
+func TestBatchConcurrencyLimit(t *testing.T) {
+	s := newTestServer(t, Options{MaxConcurrentBatches: 1, CacheSize: -1})
+	s.batchSem <- struct{}{} // occupy the single batch slot
+	rec := do(t, s.Handler(), "POST", "/batch", `{"items": [{"index": 0}]}`, nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+	<-s.batchSem
+}
+
+func TestBatchTimeout(t *testing.T) {
+	s := newTestServer(t, Options{BatchTimeout: time.Nanosecond, CacheSize: -1})
+	rec := do(t, s.Handler(), "POST", "/batch", `{"items": [{"index": 0}]}`, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	// The cancelled batch frees its slot promptly (cancellation is
+	// noticed mid-search, not just between items).
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.batchSem) != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(s.batchSem) != 0 {
+		t.Fatal("abandoned batch never released its slot")
+	}
+}
+
+// TestConcurrentBatchesRace hammers /batch from many goroutines with
+// overlapping duplicate-heavy workloads plus interleaved /query
+// traffic — the -race acceptance check for the shared per-batch OD
+// cache. The result LRU is disabled so every request exercises the
+// engine and the shared cache.
+func TestConcurrentBatchesRace(t *testing.T) {
+	s := newTestServer(t, Options{CacheSize: -1, MaxConcurrentBatches: 16})
+	h := s.Handler()
+	const points = 8
+	want := make([][]byte, points)
+	eval, err := s.miner.NewWorkerEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < points; i++ {
+		r, err := s.miner.QueryPointWith(eval, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], _ = json.Marshal(masksToDims(r.Minimal))
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%4 == 3 { // interleave plain queries with the batches
+				for it := 0; it < 6; it++ {
+					body := fmt.Sprintf(`{"index": %d}`, (g+it)%points)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("POST", "/query", strings.NewReader(body)))
+					if rec.Code != http.StatusOK {
+						errCh <- fmt.Errorf("goroutine %d query: status %d", g, rec.Code)
+						return
+					}
+				}
+				return
+			}
+			for it := 0; it < 3; it++ {
+				items := make([]map[string]any, 10)
+				for j := range items {
+					items[j] = map[string]any{"index": (g + it + j) % points}
+				}
+				buf, _ := json.Marshal(map[string]any{"items": items, "workers": 2})
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", "/batch", bytes.NewReader(buf)))
+				if rec.Code != http.StatusOK {
+					errCh <- fmt.Errorf("goroutine %d batch: status %d: %s", g, rec.Code, rec.Body.String())
+					return
+				}
+				var resp batchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					errCh <- err
+					return
+				}
+				if resp.Failed != 0 {
+					errCh <- fmt.Errorf("goroutine %d: %d items failed", g, resp.Failed)
+					return
+				}
+				for j, item := range resp.Results {
+					got, _ := json.Marshal(item.Minimal)
+					if !bytes.Equal(got, want[(g+it+j)%points]) {
+						errCh <- fmt.Errorf("goroutine %d item %d: got %s want %s", g, j, got, want[(g+it+j)%points])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// 12 goroutines, every 4th doing queries instead: 9 batchers × 3
+	// iterations.
+	if st.Batches != 27 {
+		t.Fatalf("batches = %d, want 27", st.Batches)
+	}
+}

@@ -17,7 +17,12 @@ type serverStats struct {
 	cacheHits atomic.Int64
 	cacheMiss atomic.Int64
 	inFlight  atomic.Int64
-	odEvals   atomic.Int64 // OD computations spent on /query work
+	odEvals   atomic.Int64 // OD computations spent on /query and /batch work
+
+	batches            atomic.Int64 // /batch requests answered
+	batchItems         atomic.Int64 // items across all answered batches
+	batchODCacheHits   atomic.Int64 // shared per-batch OD cache hits
+	batchODCacheMisses atomic.Int64 // shared per-batch OD cache misses
 
 	mu   sync.Mutex
 	ring []time.Duration // query latencies, ring buffer
@@ -84,6 +89,10 @@ type StatsSnapshot struct {
 	CacheEntries  int     `json:"cache_entries"`
 	InFlight      int64   `json:"in_flight"`
 	ODEvaluations int64   `json:"od_evaluations"`
+	Batches       int64   `json:"batches"`
+	BatchItems    int64   `json:"batch_items"`
+	BatchODHits   int64   `json:"batch_od_cache_hits"`
+	BatchODMisses int64   `json:"batch_od_cache_misses"`
 	LatencySample int     `json:"latency_sample"`
 	P50Ms         float64 `json:"latency_p50_ms"`
 	P90Ms         float64 `json:"latency_p90_ms"`
@@ -104,6 +113,10 @@ func (s *serverStats) snapshot(cacheEntries int, uptime time.Duration) StatsSnap
 		CacheEntries:  cacheEntries,
 		InFlight:      s.inFlight.Load(),
 		ODEvaluations: s.odEvals.Load(),
+		Batches:       s.batches.Load(),
+		BatchItems:    s.batchItems.Load(),
+		BatchODHits:   s.batchODCacheHits.Load(),
+		BatchODMisses: s.batchODCacheMisses.Load(),
 		LatencySample: len(lat),
 		P50Ms:         ms(percentile(lat, 0.50)),
 		P90Ms:         ms(percentile(lat, 0.90)),

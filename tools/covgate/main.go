@@ -1,0 +1,133 @@
+// Command covgate enforces a minimum per-package statement-coverage
+// threshold from a Go cover profile — the CI gate behind the
+// "internal/core and internal/server stay well-tested" guarantee.
+//
+// Usage:
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./tools/covgate -profile coverage.out -min 85 repro/internal/core repro/internal/server
+//
+// Each positional argument is an import-path prefix; a profile line
+// belongs to the first prefix whose directory contains its file. The
+// command prints a coverage line per gated package and exits non-zero
+// when any falls below the threshold.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covgate:", err)
+		os.Exit(1)
+	}
+}
+
+// pkgCov accumulates statement counts for one gated package prefix.
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (p pkgCov) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("covgate", flag.ContinueOnError)
+	profile := fs.String("profile", "coverage.out", "cover profile path (go test -coverprofile)")
+	min := fs.Float64("min", 85, "minimum statement coverage percent per gated package")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		return fmt.Errorf("no package prefixes given")
+	}
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	cov := make(map[string]*pkgCov, len(pkgs))
+	for _, p := range pkgs {
+		cov[p] = &pkgCov{}
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		stmts, count, file, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		for _, p := range pkgs {
+			if path.Dir(file) == p || strings.HasPrefix(path.Dir(file), p+"/") {
+				cov[p].total += stmts
+				if count > 0 {
+					cov[p].covered += stmts
+				}
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	failed := false
+	for _, p := range pkgs {
+		c := cov[p]
+		if c.total == 0 {
+			fmt.Fprintf(out, "FAIL %s: no statements in profile (wrong prefix or profile?)\n", p)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		if c.percent() < *min {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(out, "%s %s: %.1f%% of statements (gate %.1f%%)\n", status, p, c.percent(), *min)
+	}
+	if failed {
+		return fmt.Errorf("coverage below %.1f%%", *min)
+	}
+	return nil
+}
+
+// parseLine parses one profile body line:
+//
+//	repro/internal/core/miner.go:148.64,153.2 4 1
+//
+// returning (statements, hit count, file path, ok). The "mode:" header
+// and malformed lines report ok = false.
+func parseLine(line string) (stmts, count int, file string, ok bool) {
+	if strings.HasPrefix(line, "mode:") || line == "" {
+		return 0, 0, "", false
+	}
+	colon := strings.LastIndex(line, ":")
+	if colon < 0 {
+		return 0, 0, "", false
+	}
+	fields := strings.Fields(line[colon+1:])
+	if len(fields) != 3 {
+		return 0, 0, "", false
+	}
+	s, err1 := strconv.Atoi(fields[1])
+	c, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil {
+		return 0, 0, "", false
+	}
+	return s, c, line[:colon], true
+}

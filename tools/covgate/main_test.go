@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+repro/internal/core/miner.go:10.2,12.3 4 1
+repro/internal/core/miner.go:14.2,16.3 6 0
+repro/internal/core/sub/extra.go:1.1,2.2 10 1
+repro/internal/server/server.go:5.1,6.2 10 1
+repro/internal/serverish/other.go:5.1,6.2 10 0
+`
+
+func writeProfile(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(p, []byte(sampleProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseLine(t *testing.T) {
+	s, c, file, ok := parseLine("repro/internal/core/miner.go:148.64,153.2 4 1")
+	if !ok || s != 4 || c != 1 || file != "repro/internal/core/miner.go" {
+		t.Fatalf("parsed (%d,%d,%q,%v)", s, c, file, ok)
+	}
+	if _, _, _, ok := parseLine("mode: set"); ok {
+		t.Fatal("mode header parsed as body line")
+	}
+	if _, _, _, ok := parseLine("garbage"); ok {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestGatePassesAndFails(t *testing.T) {
+	p := writeProfile(t)
+	// core: (4 + 10 covered) / 20 total = 70%; server: 100%.
+	if err := run([]string{"-profile", p, "-min", "60", "repro/internal/core", "repro/internal/server"}, os.Stdout); err != nil {
+		t.Fatalf("gate at 60%% failed: %v", err)
+	}
+	err := run([]string{"-profile", p, "-min", "80", "repro/internal/core", "repro/internal/server"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "below") {
+		t.Fatalf("gate at 80%% passed: %v", err)
+	}
+}
+
+func TestGatePrefixIsPathAware(t *testing.T) {
+	p := writeProfile(t)
+	// repro/internal/server must NOT absorb repro/internal/serverish
+	// (0% covered); if it did, the 95% gate would fail.
+	if err := run([]string{"-profile", p, "-min", "95", "repro/internal/server"}, os.Stdout); err != nil {
+		t.Fatalf("prefix matching leaked across package boundaries: %v", err)
+	}
+}
+
+func TestGateUnknownPackage(t *testing.T) {
+	p := writeProfile(t)
+	if err := run([]string{"-profile", p, "repro/internal/nonexistent"}, os.Stdout); err == nil {
+		t.Fatal("unknown package passed the gate")
+	}
+}
