@@ -34,6 +34,26 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunShardExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "SH", "-shards", "1,2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "SH") || !strings.Contains(s, "speedup_vs_1") {
+		t.Fatalf("output:\n%s", s)
+	}
+	// Exactly the two requested shard rows.
+	if !strings.Contains(s, "\n1 ") || !strings.Contains(s, "\n2 ") || strings.Contains(s, "\n4 ") {
+		t.Fatalf("-shards 1,2 not honoured:\n%s", s)
+	}
+	for _, bad := range []string{"0", "x", "1,,2"} {
+		if err := run([]string{"-exp", "SH", "-shards", bad}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Fatalf("-shards %q accepted", bad)
+		}
+	}
+}
+
 func TestRunWritesCSVAndMarkdown(t *testing.T) {
 	dir := t.TempDir()
 	csvDir := filepath.Join(dir, "csv")

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataio"
+	"repro/internal/shard"
 	"repro/internal/subspace"
 	"repro/internal/vector"
 )
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batchW    = fs.Int("batch-workers", 0, "with -batch: evaluation fan-out (0 = GOMAXPROCS)")
 		top       = fs.Int("top", 10, "with -scan: report the top-N points by severity")
 		backend   = fs.String("backend", "auto", "k-NN backend: auto|linear|xtree")
+		shards    = fs.Int("shards", 0, "partition the dataset across N scatter-gather shards (0 = single index)")
+		partition = fs.String("partitioner", "roundrobin", "with -shards: row assignment, roundrobin|hash")
 		policy    = fs.String("policy", "tsf", "search order: tsf|bottomup|topdown|random")
 		normalize = fs.Bool("normalize", false, "min-max normalize columns before mining")
 		showAll   = fs.Bool("all", false, "also print the full (unfiltered) outlying set size")
@@ -107,6 +110,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg.Shards = *shards
+	cfg.Partitioner, err = shard.ParsePartitioner(*partition)
+	if err != nil {
+		return err
+	}
 
 	m, err := core.NewMiner(ds, cfg)
 	if err != nil {
@@ -127,6 +135,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "dataset: %d points x %d dims; T = %.4g; backend = %s\n",
 		ds.N(), ds.Dim(), m.Threshold(), cfg.Backend)
+	if e := m.ShardEngine(); e != nil {
+		fmt.Fprintf(stdout, "sharding: %d shards (%s partitioner), sizes %v\n",
+			e.NumShards(), e.Config().Partitioner, e.ShardSizes())
+	}
 	if ls := m.LearnStats(); ls.Samples > 0 {
 		fmt.Fprintf(stdout, "learning: %d samples, %d OD evaluations\n", ls.Samples, ls.ODEvaluations)
 	}

@@ -99,6 +99,39 @@ func TestRunNormalizeAndBackends(t *testing.T) {
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	path := writeFixture(t)
+	// The sharded run must print the topology and answer exactly like
+	// the unsharded one.
+	var ref bytes.Buffer
+	if err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-index", "0"}, &ref, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"roundrobin", "hash"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{"-data", path, "-k", "4", "-tq", "0.95",
+			"-index", "0", "-shards", "3", "-partitioner", part}, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("%s: %v", part, err)
+		}
+		if !strings.Contains(out.String(), "sharding: 3 shards ("+part) {
+			t.Fatalf("%s: missing topology line:\n%s", part, out.String())
+		}
+		// Everything after the sharding line must match the reference
+		// output after its header line.
+		refLines := strings.SplitN(ref.String(), "\n", 2)
+		gotLines := strings.SplitN(out.String(), "\n", 3)
+		if gotLines[2] != refLines[1] {
+			t.Fatalf("%s: sharded answer diverged:\n%s\nvs\n%s", part, gotLines[2], refLines[1])
+		}
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-data", path, "-k", "4", "-tq", "0.95",
+		"-index", "0", "-shards", "2", "-partitioner", "zig"}, &out, &errBuf); err == nil {
+		t.Fatal("bad -partitioner accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeFixture(t)
 	var out, errBuf bytes.Buffer

@@ -7,15 +7,23 @@
 //
 //	hosserve -data data.csv -k 5 -tq 0.95 -addr :8080
 //	hosserve -gen synthetic -n 2000 -d 8 -k 5 -tq 0.95
+//	hosserve -gen synthetic -n 20000 -d 8 -k 5 -tq 0.95 -shards 4
 //	hosserve -gen nba -n 500 -k 6 -tq 0.97 -load-state state.json
 //
-// Endpoints (see README.md for a curl transcript):
+// The startup dataset becomes the registry's "default" entry; more
+// datasets can be loaded and evicted at runtime. Endpoints (see
+// README.md for a curl transcript):
 //
-//	POST /query    {"index": 3} or {"point": [..], "include_all": true}
-//	POST /scan     {"max_results": 10, "sort_by_severity": true}
-//	GET  /state    export preprocessed state (threshold + priors)
-//	GET  /healthz  liveness + dataset summary
-//	GET  /stats    query counts, cache hits, latency percentiles
+//	POST /query          {"index": 3} or {"point": [..]}, optional "dataset"
+//	POST /scan           {"max_results": 10, ...}, optional "dataset"
+//	POST /batch          {"items": [...]}, optional "dataset"
+//	GET  /datasets       registry listing with shard topology
+//	POST /datasets/load  generate + preprocess + register a dataset
+//	POST /datasets/evict drop a loaded dataset
+//	GET  /state          export preprocessed state (?dataset=name)
+//	GET  /healthz        liveness + default dataset summary
+//	GET  /stats          query counts, cache hits, latency percentiles,
+//	                     per-dataset and per-shard counters
 //
 // The process drains in-flight requests and exits cleanly on SIGINT /
 // SIGTERM. See also the batch front-ends: hosminer (one-shot queries),
@@ -39,6 +47,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataio"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/vector"
 )
 
@@ -80,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "dataset: %d points x %d dims; T = %.4g; backend = %s\n",
 		ds.N(), ds.Dim(), m.Threshold(), m.Config().Backend)
+	if e := m.ShardEngine(); e != nil {
+		fmt.Fprintf(stdout, "sharding: %d shards (%s partitioner), sizes %v\n",
+			e.NumShards(), e.Config().Partitioner, e.ShardSizes())
+	}
 	if cc.saveState != "" {
 		if err := m.SaveStateFile(cc.saveState); err != nil {
 			return err
@@ -98,13 +111,13 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "hosserve — serve concurrent outlying-subspace queries over HTTP/JSON.")
-		fmt.Fprintln(stderr, "Endpoints: POST /query, POST /scan, GET /state, GET /healthz, GET /stats (see README.md).")
+		fmt.Fprintln(stderr, "Endpoints: POST /query, /batch, /scan, /datasets/load, /datasets/evict; GET /datasets, /state, /healthz, /stats (see README.md).")
 		fmt.Fprintln(stderr, "See also: hosminer (one-shot queries), hosgen (datasets), hosbench (experiments).")
 		fmt.Fprintln(stderr, "Flags:")
 		fs.PrintDefaults()
 	}
 	var cc cliConfig
-	var backend, policy string
+	var backend, policy, partitioner string
 	fs.StringVar(&cc.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&cc.dataPath, "data", "", "CSV dataset path (use -data or -gen)")
 	fs.StringVar(&cc.gen, "gen", "", "generate the dataset instead: synthetic|uniform|athlete|medical|nba")
@@ -119,6 +132,8 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.IntVar(&cc.miner.SampleSize, "samples", 0, "sample size for the learning phase (0 = uniform priors)")
 	fs.Int64Var(&cc.miner.Seed, "seed", 1, "random seed (generation and mining)")
 	fs.StringVar(&backend, "backend", "auto", "k-NN backend: auto|linear|xtree")
+	fs.IntVar(&cc.miner.Shards, "shards", 0, "partition the dataset across N scatter-gather shards (0 = single index)")
+	fs.StringVar(&partitioner, "partitioner", "roundrobin", "with -shards: row assignment, roundrobin|hash")
 	fs.StringVar(&policy, "policy", "tsf", "search order: tsf|bottomup|topdown|random")
 	fs.StringVar(&cc.loadState, "load-state", "", "import preprocessed state (threshold+priors) from this JSON file, skipping learning")
 	fs.StringVar(&cc.saveState, "save-state", "", "after preprocessing, save state to this JSON file")
@@ -129,6 +144,7 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.IntVar(&cc.srv.ScanWorkers, "scan-workers", 0, "scan worker pool size (default GOMAXPROCS)")
 	fs.IntVar(&cc.srv.MaxScanResults, "max-scan-results", 0, "cap on hits per /scan (default 1000)")
 	fs.IntVar(&cc.srv.MaxConcurrentQueries, "max-queries", 0, "cap on concurrently computing queries (default 4x GOMAXPROCS)")
+	fs.IntVar(&cc.srv.MaxDatasets, "max-datasets", 0, "cap on registry size incl. the startup dataset (default 8)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -137,6 +153,9 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 		return nil, err
 	}
 	if cc.miner.Policy, err = core.ParsePolicy(policy); err != nil {
+		return nil, err
+	}
+	if cc.miner.Partitioner, err = shard.ParsePartitioner(partitioner); err != nil {
 		return nil, err
 	}
 	return &cc, nil

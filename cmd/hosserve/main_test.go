@@ -75,6 +75,26 @@ func TestSetupFromGenerators(t *testing.T) {
 	}
 }
 
+func TestSetupSharded(t *testing.T) {
+	h := setupFromArgs(t, "-gen", "synthetic", "-n", "200", "-d", "4", "-k", "4",
+		"-tq", "0.95", "-shards", "4", "-partitioner", "hash")
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var health struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Shards != 4 {
+		t.Fatalf("healthz shards = %d, want 4", health.Shards)
+	}
+}
+
 func TestSetupStateRoundTrip(t *testing.T) {
 	path := writeFixture(t)
 	state := filepath.Join(t.TempDir(), "state.json")
@@ -193,6 +213,7 @@ func TestParseFlagErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-backend", "nope"},
 		{"-policy", "nope"},
+		{"-partitioner", "nope"},
 		{"-bogus"},
 	} {
 		var errBuf bytes.Buffer

@@ -1,10 +1,11 @@
 // Package conformance is a differential test harness for the
 // HOS-Miner engine: it drives independently-implemented
 // configurations — the linear-scan and X-tree k-NN backends, all four
-// layer-ordering policies, and the batched versus single-query
-// execution paths — over the same seeded synthetic datasets and
-// asserts that they produce byte-identical minimal outlying
-// subspaces.
+// layer-ordering policies, the batched versus single-query execution
+// paths, and sharded scatter-gather engines versus single-index ones
+// (widths 1/2/7, both partitioners) — over the same seeded synthetic
+// datasets and asserts that they produce byte-identical minimal
+// outlying subspaces.
 //
 // The harness exists so the hot path can be refactored without fear:
 // any divergence between two engines that are supposed to be
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/shard"
 	"repro/internal/subspace"
 	"repro/internal/vector"
 )
@@ -87,6 +89,14 @@ func (sp Spec) Dataset() (*vector.Dataset, error) {
 // Miner builds and preprocesses a miner for the spec under the given
 // backend and policy.
 func (sp Spec) Miner(backend core.Backend, policy core.Policy) (*core.Miner, error) {
+	return sp.ShardedMiner(backend, policy, 0, shard.RoundRobin)
+}
+
+// ShardedMiner is Miner with a scatter-gather engine of the given
+// width (shards 0 builds the ordinary single-index miner; shards 1
+// builds a one-shard engine, exercising the scatter-gather plumbing
+// without a partition).
+func (sp Spec) ShardedMiner(backend core.Backend, policy core.Policy, shards int, part shard.Partitioner) (*core.Miner, error) {
 	ds, err := sp.Dataset()
 	if err != nil {
 		return nil, err
@@ -95,6 +105,7 @@ func (sp Spec) Miner(backend core.Backend, policy core.Policy) (*core.Miner, err
 		K: sp.K, T: sp.T, TQuantile: sp.TQuantile,
 		SampleSize: sp.SampleSize, Seed: sp.Seed,
 		Backend: backend, Policy: policy,
+		Shards: shards, Partitioner: part,
 	})
 	if err != nil {
 		return nil, err
@@ -181,4 +192,15 @@ func Backends() []core.Backend {
 // Policies returns all four layer-ordering policies.
 func Policies() []core.Policy {
 	return []core.Policy{core.PolicyTSF, core.PolicyBottomUp, core.PolicyTopDown, core.PolicyRandom}
+}
+
+// ShardWidths enumerates the shard counts the sharded differential
+// tests cross: 1 (a one-shard engine — scatter-gather plumbing, no
+// partition), a small even split, and a prime width that leaves
+// shards unevenly sized.
+func ShardWidths() []int { return []int{1, 2, 7} }
+
+// Partitioners enumerates both row-assignment strategies.
+func Partitioners() []shard.Partitioner {
+	return []shard.Partitioner{shard.RoundRobin, shard.HashPoint}
 }

@@ -1,9 +1,14 @@
 package conformance
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/knn"
+	"repro/internal/shard"
 	"repro/internal/subspace"
 )
 
@@ -124,6 +129,135 @@ func TestBatchedPoliciesAgree(t *testing.T) {
 		}
 		if d := Diff("first-policy", ref, policy.String(), got); d != "" {
 			t.Fatalf("batched policy %v diverged:\n%s", policy, d)
+		}
+	}
+}
+
+// Every spec, both backends, shard widths 1/2/7, both partitioners:
+// the sharded scatter-gather engine must be invisible in the answers.
+// The per-shard top-k merge reconstructs the exact global neighbour
+// set (shard.Merge), so OD values — and with them every outlying
+// verdict — must match the single-index miner byte for byte.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, sp := range DefaultSpecs() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := sp.Miner(core.BackendLinear, core.PolicyTSF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := MinimalFingerprints(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, backend := range Backends() {
+				for _, widths := range ShardWidths() {
+					for _, part := range Partitioners() {
+						m, err := sp.ShardedMiner(backend, core.PolicyTSF, widths, part)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if m.Threshold() != ref.Threshold() {
+							t.Fatalf("%v/%d/%v: thresholds diverge: %v vs %v",
+								backend, widths, part, m.Threshold(), ref.Threshold())
+						}
+						got, err := MinimalFingerprints(m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						name := fmt.Sprintf("%v shards=%d part=%v", backend, widths, part)
+						if d := Diff("unsharded", want, name, got); d != "" {
+							t.Fatalf("sharded engine diverged (%s):\n%s", name, d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// All four policies through sharded engines: ordering must stay
+// answer-invariant when the backend underneath is a scatter-gather.
+func TestShardedPoliciesAgree(t *testing.T) {
+	sp := DefaultSpecs()[0]
+	ref, err := sp.Miner(core.BackendLinear, core.PolicyTSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MinimalFingerprints(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range Policies() {
+		for _, part := range Partitioners() {
+			m, err := sp.ShardedMiner(core.BackendLinear, policy, 7, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MinimalFingerprints(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := Diff("unsharded-tsf", want, policy.String(), got); d != "" {
+				t.Fatalf("sharded policy %v (%v) diverged:\n%s", policy, part, d)
+			}
+		}
+	}
+}
+
+// The sharded engine under the batched path — the full stack the
+// server runs when both features are on at once.
+func TestShardedBatchedMatchesSingle(t *testing.T) {
+	sp := DefaultSpecs()[1] // includes the learning phase
+	m, err := sp.ShardedMiner(core.BackendLinear, core.PolicyTSF, 2, shard.HashPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := MinimalFingerprints(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := BatchMinimalFingerprints(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff("single", single, "sharded-batched", batched); d != "" {
+		t.Fatalf("sharded batch path diverged:\n%s", d)
+	}
+}
+
+// Property test: shard.Merge is order-independent — any permutation
+// of per-shard partials (and any order within one partial) merges to
+// the same global top-k. This is the algebraic fact that makes the
+// scatter-gather engine's answers independent of shard scheduling.
+func TestShardMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(6)
+		nParts := 1 + rng.Intn(5)
+		var partials [][]knn.Neighbor
+		idx := 0
+		for p := 0; p < nParts; p++ {
+			m := rng.Intn(k + 3)
+			part := make([]knn.Neighbor, 0, m)
+			for j := 0; j < m; j++ {
+				part = append(part, knn.Neighbor{Index: idx, Dist: float64(rng.Intn(5))})
+				idx++
+			}
+			partials = append(partials, part)
+		}
+		want := shard.Merge(k, partials...)
+		perm := rng.Perm(len(partials))
+		shuffled := make([][]knn.Neighbor, len(partials))
+		for i, p := range perm {
+			in := append([]knn.Neighbor(nil), partials[p]...)
+			rng.Shuffle(len(in), func(a, b int) { in[a], in[b] = in[b], in[a] })
+			shuffled[i] = in
+		}
+		got := shard.Merge(k, shuffled...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge depends on order:\n got %v\nwant %v", trial, got, want)
 		}
 	}
 }

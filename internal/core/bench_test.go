@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// benchMiner builds one preprocessed miner for the query benchmarks.
+func benchMiner(b *testing.B, shards int) *Miner {
+	b.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{
+		N: 2000, D: 6, NumOutliers: 5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMiner(ds, Config{
+		K: 5, TQuantile: 0.95, Seed: 1, Backend: BackendLinear, Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Preprocess(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkQueryWith is the single-query hot path on a caller-owned
+// evaluator — the unit the server's /query handler pays per miss.
+func BenchmarkQueryWith(b *testing.B) {
+	for _, shards := range []int{0, 4} { // 0 = single unsharded index
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m := benchMiner(b, shards)
+			eval, err := m.NewWorkerEvaluator()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.QueryPointWith(eval, i%m.Dataset().N()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryBatchCore is the batch engine over the same miner —
+// per-item cost with the shared OD cache absorbing duplicates.
+func BenchmarkQueryBatchCore(b *testing.B) {
+	m := benchMiner(b, 0)
+	queries := make([]BatchQuery, 64)
+	for i := range queries {
+		queries[i] = BatchIndex(i % 32) // half duplicates
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.QueryBatch(context.Background(), queries, BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatal("batch items failed")
+		}
+	}
+}

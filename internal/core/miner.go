@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/knn"
 	"repro/internal/od"
+	"repro/internal/shard"
 	"repro/internal/subspace"
 	"repro/internal/vector"
 	"repro/internal/xtree"
@@ -29,6 +30,20 @@ const (
 // autoXTreeThreshold is the dataset size above which BackendAuto
 // prefers the X-tree.
 const autoXTreeThreshold = 512
+
+// shardIndexKind maps a Backend onto the per-shard index choice of
+// internal/shard (BackendAuto is then applied per shard, not to the
+// whole dataset).
+func (b Backend) shardIndexKind() shard.IndexKind {
+	switch b {
+	case BackendLinear:
+		return shard.IndexLinear
+	case BackendXTree:
+		return shard.IndexXTree
+	default:
+		return shard.IndexAuto
+	}
+}
 
 // String names the backend.
 func (b Backend) String() string {
@@ -69,6 +84,17 @@ type Config struct {
 	Policy Policy
 	// Backend selects the k-NN engine.
 	Backend Backend
+	// Shards partitions the dataset across this many per-shard
+	// indexes answered by scatter-gather (internal/shard). 0 means a
+	// single unsharded index; any value ≥ 1 routes through the
+	// scatter-gather engine (1 = one-shard engine, useful for
+	// exercising the plumbing). Sharded answers are byte-identical to
+	// unsharded ones (see shard.Merge); Backend then selects the
+	// per-shard index, with BackendAuto applied shard by shard.
+	Shards int
+	// Partitioner assigns rows to shards when Shards > 1 (default
+	// round-robin).
+	Partitioner shard.Partitioner
 }
 
 func (c *Config) validate(ds *vector.Dataset) error {
@@ -98,6 +124,15 @@ func (c *Config) validate(ds *vector.Dataset) error {
 	if c.Backend > BackendXTree {
 		return fmt.Errorf("core: invalid backend")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards = %d, need ≥ 0", c.Shards)
+	}
+	if c.Shards > ds.N() {
+		return fmt.Errorf("core: Shards = %d exceeds dataset size %d", c.Shards, ds.N())
+	}
+	if !c.Partitioner.Valid() {
+		return fmt.Errorf("core: invalid partitioner")
+	}
 	return nil
 }
 
@@ -117,11 +152,12 @@ func (c *Config) validate(ds *vector.Dataset) error {
 // same pattern internally. This is the contract internal/server is
 // built on.
 type Miner struct {
-	cfg  Config
-	ds   *vector.Dataset
-	eval *od.Evaluator
-	srch knn.Searcher
-	tree *xtree.Tree // non-nil when the backend is an X-tree
+	cfg    Config
+	ds     *vector.Dataset
+	eval   *od.Evaluator
+	srch   knn.Searcher
+	tree   *xtree.Tree   // non-nil when the backend is a single X-tree
+	shards *shard.Engine // non-nil when Config.Shards ≥ 1
 
 	threshold    float64
 	priors       Priors
@@ -158,9 +194,25 @@ func NewMiner(ds *vector.Dataset, cfg Config) (*Miner, error) {
 
 	var searcher knn.Searcher
 	var tree *xtree.Tree
-	useXTree := cfg.Backend == BackendXTree ||
-		(cfg.Backend == BackendAuto && ds.N() >= autoXTreeThreshold)
-	if useXTree {
+	var engine *shard.Engine
+	if cfg.Shards >= 1 {
+		e, err := shard.NewEngine(ds, shard.Config{
+			Shards:      cfg.Shards,
+			Partitioner: cfg.Partitioner,
+			Metric:      cfg.Metric,
+			Index:       cfg.Backend.shardIndexKind(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		engine = e
+		s, err := e.NewSearcher()
+		if err != nil {
+			return nil, err
+		}
+		searcher = s
+	} else if useXTree := cfg.Backend == BackendXTree ||
+		(cfg.Backend == BackendAuto && ds.N() >= autoXTreeThreshold); useXTree {
 		t, err := xtree.Build(ds, cfg.Metric, xtree.DefaultConfig())
 		if err != nil {
 			return nil, err
@@ -185,6 +237,7 @@ func NewMiner(ds *vector.Dataset, cfg Config) (*Miner, error) {
 		eval:   eval,
 		srch:   searcher,
 		tree:   tree,
+		shards: engine,
 		priors: UniformPriors(ds.Dim()),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
@@ -196,7 +249,13 @@ func NewMiner(ds *vector.Dataset, cfg Config) (*Miner, error) {
 // counters and are not, so each worker gets its own.
 func (m *Miner) workerEvaluator() (*od.Evaluator, error) {
 	var searcher knn.Searcher
-	if m.tree != nil {
+	if m.shards != nil {
+		s, err := m.shards.NewSearcher()
+		if err != nil {
+			return nil, err
+		}
+		searcher = s
+	} else if m.tree != nil {
 		searcher = xtree.NewSearcher(m.tree)
 	} else {
 		ls, err := knn.NewLinear(m.ds, m.cfg.Metric)
@@ -225,6 +284,22 @@ func (m *Miner) LearnStats() LearnStats { return m.learnStats }
 
 // SearcherStats returns cumulative k-NN work counters.
 func (m *Miner) SearcherStats() knn.SearchStats { return m.srch.Stats() }
+
+// ShardEngine returns the scatter-gather engine behind a sharded
+// Miner, or nil when Config.Shards is 0. Callers use it for shard
+// topology (sizes) and cumulative per-shard work counters; the engine
+// is immutable and safe to read concurrently.
+func (m *Miner) ShardEngine() *shard.Engine { return m.shards }
+
+// NumShards returns the engine width the Miner serves from: the
+// shard count of its scatter-gather engine, or 1 for an unsharded
+// single-index Miner.
+func (m *Miner) NumShards() int {
+	if m.shards != nil {
+		return m.shards.NumShards()
+	}
+	return 1
+}
 
 // Preprocess resolves the threshold and runs the sample-based
 // learning process (§3.2): SampleSize points are drawn uniformly

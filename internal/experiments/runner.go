@@ -35,6 +35,9 @@ func (s Scale) String() string {
 type Runner struct {
 	Scale Scale
 	Seed  int64
+	// Shards overrides the shard counts the SH experiment sweeps
+	// (nil = scale default; set by hosbench -shards).
+	Shards []int
 }
 
 // NewRunner builds a Runner.
@@ -76,6 +79,7 @@ func (r *Runner) All() ([]*Table, error) {
 		{"F8", r.F8OrderingAblation},
 		{"T5", r.T5XTreeSplitAblation},
 		{"F9", r.F9MetricSweep},
+		{"SH", r.SHShardScaling},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {
@@ -119,6 +123,8 @@ func (r *Runner) ByID(id string) (*Table, error) {
 		return r.T5XTreeSplitAblation()
 	case "F9":
 		return r.F9MetricSweep()
+	case "SH":
+		return r.SHShardScaling()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment id %q", id)
 	}
@@ -126,7 +132,7 @@ func (r *Runner) ByID(id string) (*Table, error) {
 
 // IDs lists the experiment identifiers in DESIGN.md order.
 func IDs() []string {
-	return []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "T2", "F7", "T3", "T4", "F8", "T5", "F9"}
+	return []string{"T1", "F1", "F2", "F3", "F4", "F5", "F6", "T2", "F7", "T3", "T4", "F8", "T5", "F9", "SH"}
 }
 
 // --- shared helpers -------------------------------------------------

@@ -20,7 +20,10 @@ import (
 // reported per item and do not fail the batch.
 
 type batchRequest struct {
-	Items []batchRequestItem `json:"items"`
+	// Dataset routes the whole batch to a registry entry ("" = the
+	// default dataset).
+	Dataset string             `json:"dataset,omitempty"`
+	Items   []batchRequestItem `json:"items"`
 	// Workers overrides the per-batch fan-out (clamped to the server's
 	// BatchWorkers bound).
 	Workers int `json:"workers,omitempty"`
@@ -63,6 +66,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	d, ok := s.resolveDataset(w, req.Dataset)
+	if !ok {
+		return
+	}
 	if len(req.Items) == 0 {
 		s.error(w, http.StatusBadRequest, "batch has no items")
 		return
@@ -89,14 +96,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// before taking the batch slot: a fully-cached batch costs nothing.
 	resp := &batchResponse{
 		Results:   make([]batchItemResponse, len(req.Items)),
-		Threshold: s.miner.Threshold(),
+		Threshold: d.miner.Threshold(),
 	}
 	var queries []core.BatchQuery // engine work, in compacted order
 	var queryPos []int            // queries[j] answers Results[queryPos[j]]
 	keys := make([]string, len(req.Items))
 	for i, item := range req.Items {
 		out := &resp.Results[i]
-		point, exclude, emsg := s.resolveQueryTarget(item.Index, item.Point)
+		point, exclude, emsg := d.resolveQueryTarget(item.Index, item.Point)
 		if emsg != "" {
 			out.Error = emsg
 			continue
@@ -107,7 +114,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Point = append([]float64(nil), point...)
 		}
 		keys[i] = cacheKey(point, exclude)
-		if cached, ok := s.cache.get(keys[i]); ok {
+		if cached, ok := d.cache.get(keys[i]); ok {
 			out.IsOutlier = cached.IsOutlier
 			out.Minimal = cached.Minimal
 			out.OutlyingCount = cached.OutlyingCount
@@ -124,6 +131,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queryPos = append(queryPos, i)
 	}
 
+	// batchStats carries the engine-side accounting out of the compute
+	// block so it lands in serverStats as one consistent transition.
+	var batchStats struct{ odHits, odMisses, odEvals int64 }
 	if len(queries) > 0 {
 		select {
 		case s.batchSem <- struct{}{}:
@@ -142,9 +152,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		done := make(chan outcome, 1)
 		go func() {
 			defer func() { <-s.batchSem }()
-			res, err := s.miner.QueryBatch(ctx, queries, core.BatchOptions{
+			res, err := d.miner.QueryBatch(ctx, queries, core.BatchOptions{
 				Workers: workers,
-				Pool:    s.pool,
+				Pool:    d.pool,
 			})
 			done <- outcome{res, err}
 		}()
@@ -178,6 +188,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			res = o.res
 		}
 
+		var batchODEvals int64
 		for j, item := range res.Items {
 			out := &resp.Results[queryPos[j]]
 			if item.Err != nil {
@@ -189,7 +200,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Minimal = masksToDims(qr.Minimal)
 			out.OutlyingCount = len(qr.Outlying)
 			out.ODEvaluations = qr.ODEvaluations
-			s.stats.odEvals.Add(qr.ODEvaluations)
+			batchODEvals += qr.ODEvaluations
 			// Seed the LRU so follow-up /query (and /batch) traffic for
 			// the same key hits, applying the same oversized-mask-set
 			// rule as /query.
@@ -206,12 +217,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if s.opts.MaxCachedMasks > 0 && len(qr.Outlying) > s.opts.MaxCachedMasks {
 				toCache.outlyingMasks = nil
 			}
-			s.cache.put(keys[queryPos[j]], toCache)
+			d.cache.put(keys[queryPos[j]], toCache)
 		}
 		resp.ODCacheHits = res.Cache.Hits
 		resp.ODCacheMisses = res.Cache.Misses
-		s.stats.batchODCacheHits.Add(res.Cache.Hits)
-		s.stats.batchODCacheMisses.Add(res.Cache.Misses)
+		batchStats.odHits = res.Cache.Hits
+		batchStats.odMisses = res.Cache.Misses
+		batchStats.odEvals = batchODEvals
 	}
 
 	for i := range resp.Results {
@@ -222,7 +234,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedMs = msSince(start)
-	s.stats.batches.Add(1)
-	s.stats.batchItems.Add(int64(len(req.Items)))
+	d.queries.Add(int64(len(req.Items)))
+	s.stats.recordBatch(len(req.Items), batchStats.odHits, batchStats.odMisses, batchStats.odEvals)
 	s.writeJSON(w, http.StatusOK, resp)
 }

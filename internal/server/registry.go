@@ -1,0 +1,393 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/shard"
+	"repro/internal/subspace"
+)
+
+// This file is the multi-dataset registry: a Server is no longer the
+// HTTP face of exactly one preprocessed Miner but of a named set of
+// them, each with its own shard topology, evaluator pool and result
+// LRU. /query, /scan and /batch route on an optional "dataset" field
+// (default: the dataset the process was started with); operators load
+// and evict datasets at runtime:
+//
+//	GET  /datasets        list every entry with shard topology
+//	POST /datasets/load   generate + preprocess + register a dataset
+//	POST /datasets/evict  drop a loaded dataset
+//
+// Loading is generator-based (datagen.ByName): the service stays
+// self-contained — no file-upload surface — while tests and operators
+// can still stand up arbitrarily shaped datasets on a running
+// process.
+
+// dataset is one registry entry: a preprocessed miner plus the
+// per-dataset serving state. The miner (and its shard engine) are
+// immutable after construction; pool and cache are concurrency-safe;
+// queries is the per-dataset request counter surfaced in /stats.
+type dataset struct {
+	name    string
+	miner   *core.Miner
+	pool    *core.EvaluatorPool
+	cache   *resultCache
+	queries atomic.Int64
+	// transform maps ad-hoc query vectors into the dataset's
+	// coordinate space (nil = identity); only the default dataset,
+	// whose owner may have normalized it at startup, carries one.
+	transform func([]float64) []float64
+	created   time.Time
+}
+
+// registry is the named-dataset table. Reads (request routing) take
+// the read lock; load/evict take the write lock. The entries
+// themselves are never mutated in place, so a handler may keep using
+// a *dataset it resolved even across a concurrent eviction — the
+// entry's miner and caches outlive their registry slot.
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]*dataset
+	max     int
+}
+
+func newRegistry(def *dataset, max int) *registry {
+	return &registry{entries: map[string]*dataset{def.name: def}, max: max}
+}
+
+// resolve returns the entry for name ("" selects the default).
+func (r *registry) resolve(name string) (*dataset, bool) {
+	if name == "" {
+		name = DefaultDatasetName
+	}
+	r.mu.RLock()
+	d, ok := r.entries[name]
+	r.mu.RUnlock()
+	return d, ok
+}
+
+// len returns the entry count without list's allocation and sort.
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// list returns the entries sorted by name.
+func (r *registry) list() []*dataset {
+	r.mu.RLock()
+	out := make([]*dataset, 0, len(r.entries))
+	for _, d := range r.entries {
+		out = append(out, d)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// check reports whether name could currently be added — the cheap
+// pre-flight the load handler runs before paying for a build.
+func (r *registry) check(name string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("dataset %q already loaded", name)
+	}
+	if len(r.entries) >= r.max {
+		return fmt.Errorf("registry full (%d datasets); evict one first", r.max)
+	}
+	return nil
+}
+
+// add registers a new entry; it fails on duplicate names or when the
+// registry is full.
+func (r *registry) add(d *dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[d.name]; ok {
+		return fmt.Errorf("dataset %q already loaded", d.name)
+	}
+	if len(r.entries) >= r.max {
+		return fmt.Errorf("registry full (%d datasets); evict one first", r.max)
+	}
+	r.entries[d.name] = d
+	return nil
+}
+
+// remove drops name. The default dataset is not evictable: it is the
+// entry the process was configured with and the fallback for every
+// request that names none.
+func (r *registry) remove(name string) error {
+	if name == DefaultDatasetName {
+		return fmt.Errorf("dataset %q is not evictable", DefaultDatasetName)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("dataset %q not found", name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// DefaultDatasetName is the registry name of the dataset the process
+// was started with; requests that name no dataset route to it.
+const DefaultDatasetName = "default"
+
+// ---- request/response bodies ----
+
+type loadRequest struct {
+	// Name registers the dataset (required; anything but "default").
+	Name string `json:"name"`
+	// Gen selects the generator (datagen.ByName):
+	// synthetic|uniform|athlete|medical|nba.
+	Gen     string `json:"gen"`
+	N       int    `json:"n,omitempty"`
+	D       int    `json:"d,omitempty"`
+	Planted int    `json:"planted,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	// Miner parameters, mirroring the hosserve flags.
+	K         int     `json:"k"`
+	T         float64 `json:"t,omitempty"`
+	TQuantile float64 `json:"tq,omitempty"`
+	Samples   int     `json:"samples,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Backend   string  `json:"backend,omitempty"`
+	// Shards > 1 serves the dataset from a scatter-gather engine with
+	// this many per-shard indexes.
+	Shards      int    `json:"shards,omitempty"`
+	Partitioner string `json:"partitioner,omitempty"`
+}
+
+type datasetInfo struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	D           int     `json:"d"`
+	K           int     `json:"k"`
+	Threshold   float64 `json:"threshold"`
+	Policy      string  `json:"policy"`
+	Backend     string  `json:"backend"`
+	Shards      int     `json:"shards"`
+	Partitioner string  `json:"partitioner,omitempty"`
+	ShardSizes  []int   `json:"shard_sizes,omitempty"`
+	Queries     int64   `json:"queries"`
+	CreatedAt   string  `json:"created_at"`
+	Default     bool    `json:"default,omitempty"`
+}
+
+type listDatasetsResponse struct {
+	Datasets []datasetInfo `json:"datasets"`
+	Capacity int           `json:"capacity"`
+}
+
+type evictRequest struct {
+	Name string `json:"name"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.list()
+	resp := &listDatasetsResponse{
+		Datasets: make([]datasetInfo, len(entries)),
+		Capacity: s.opts.MaxDatasets,
+	}
+	for i, d := range entries {
+		resp.Datasets[i] = d.info()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || len(req.Name) > 64 {
+		s.error(w, http.StatusBadRequest, "dataset name must be 1-64 characters")
+		return
+	}
+	if req.Name == DefaultDatasetName {
+		s.error(w, http.StatusBadRequest, fmt.Sprintf("name %q is reserved", DefaultDatasetName))
+		return
+	}
+	// Generating + preprocessing allocates N×D floats and runs the
+	// full threshold/learning pipeline inline; bound the size before
+	// spending anything.
+	if req.N > s.opts.MaxLoadPoints {
+		s.error(w, http.StatusBadRequest,
+			fmt.Sprintf("n = %d exceeds the load limit %d", req.N, s.opts.MaxLoadPoints))
+		return
+	}
+	if req.D > subspace.MaxDim {
+		s.error(w, http.StatusBadRequest,
+			fmt.Sprintf("d = %d exceeds the supported maximum %d", req.D, subspace.MaxDim))
+		return
+	}
+	// Fail fast on a name or capacity conflict before the expensive
+	// build; reg.add re-checks under its lock, so a racing duplicate
+	// still loses there.
+	if err := s.reg.check(req.Name); err != nil {
+		s.error(w, http.StatusConflict, err.Error())
+		return
+	}
+	// One build at a time: loads are operator actions, not traffic,
+	// and each one monopolises memory bandwidth and cores while it
+	// preprocesses.
+	select {
+	case s.loadSem <- struct{}{}:
+		defer func() { <-s.loadSem }()
+	default:
+		s.error(w, http.StatusTooManyRequests, "another dataset load is in progress, retry later")
+		return
+	}
+	d, err := s.buildDataset(&req)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.reg.add(d); err != nil {
+		s.error(w, http.StatusConflict, err.Error())
+		return
+	}
+	info := d.info()
+	s.writeJSON(w, http.StatusCreated, &info)
+}
+
+func (s *Server) handleEvictDataset(w http.ResponseWriter, r *http.Request) {
+	var req evictRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		s.error(w, http.StatusBadRequest, "set \"name\"")
+		return
+	}
+	if err := s.reg.remove(req.Name); err != nil {
+		status := http.StatusNotFound
+		if req.Name == DefaultDatasetName {
+			status = http.StatusBadRequest
+		}
+		s.error(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"evicted": req.Name})
+}
+
+// buildDataset generates, mines and preprocesses one loadRequest —
+// the runtime twin of the hosserve startup path.
+func (s *Server) buildDataset(req *loadRequest) (*dataset, error) {
+	ds, _, err := datagen.ByName(req.Gen, datagen.NamedConfig{
+		N: req.N, D: req.D, Planted: req.Planted, Seed: req.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		K: req.K, T: req.T, TQuantile: req.TQuantile,
+		SampleSize: req.Samples, Seed: req.Seed, Shards: req.Shards,
+	}
+	cfg.ClampSampleSize(ds.N())
+	if req.Backend != "" {
+		if cfg.Backend, err = core.ParseBackend(req.Backend); err != nil {
+			return nil, err
+		}
+	}
+	if req.Policy != "" {
+		if cfg.Policy, err = core.ParsePolicy(req.Policy); err != nil {
+			return nil, err
+		}
+	}
+	if req.Partitioner != "" {
+		if cfg.Partitioner, err = shard.ParsePartitioner(req.Partitioner); err != nil {
+			return nil, err
+		}
+	}
+	m, err := core.NewMiner(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Preprocess(); err != nil {
+		return nil, err
+	}
+	return s.newDatasetEntry(req.Name, m, nil), nil
+}
+
+// newDatasetEntry wraps a preprocessed miner in its serving state.
+func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]float64) []float64) *dataset {
+	return &dataset{
+		name:      name,
+		miner:     m,
+		pool:      m.NewEvaluatorPool(),
+		cache:     newResultCache(s.opts.CacheSize),
+		transform: transform,
+		created:   time.Now(),
+	}
+}
+
+// info renders the entry for /datasets and /stats.
+func (d *dataset) info() datasetInfo {
+	cfg := d.miner.Config()
+	info := datasetInfo{
+		Name:      d.name,
+		N:         d.miner.Dataset().N(),
+		D:         d.miner.Dataset().Dim(),
+		K:         cfg.K,
+		Threshold: d.miner.Threshold(),
+		Policy:    cfg.Policy.String(),
+		Backend:   cfg.Backend.String(),
+		Shards:    d.miner.NumShards(),
+		Queries:   d.queries.Load(),
+		CreatedAt: d.created.UTC().Format(time.RFC3339),
+		Default:   d.name == DefaultDatasetName,
+	}
+	if e := d.miner.ShardEngine(); e != nil {
+		info.Partitioner = e.Config().Partitioner.String()
+		info.ShardSizes = e.ShardSizes()
+	}
+	return info
+}
+
+// stats renders the entry for the /stats datasets section, including
+// the cumulative per-shard work counters.
+func (d *dataset) stats() DatasetStats {
+	out := DatasetStats{
+		Name:    d.name,
+		N:       d.miner.Dataset().N(),
+		D:       d.miner.Dataset().Dim(),
+		Shards:  d.miner.NumShards(),
+		Queries: d.queries.Load(),
+	}
+	if e := d.miner.ShardEngine(); e != nil {
+		sizes := e.ShardSizes()
+		work := e.ShardStats()
+		out.PerShard = make([]ShardStats, len(sizes))
+		for i := range sizes {
+			out.PerShard[i] = ShardStats{
+				Points:         sizes[i],
+				Queries:        work[i].Queries,
+				PointsExamined: work[i].PointsExamined,
+				NodesVisited:   work[i].NodesVisited,
+			}
+		}
+	}
+	return out
+}
+
+// resolveDataset routes a request's dataset name to its entry,
+// writing the 404 itself when the name is unknown.
+func (s *Server) resolveDataset(w http.ResponseWriter, name string) (*dataset, bool) {
+	d, ok := s.reg.resolve(name)
+	if !ok {
+		s.error(w, http.StatusNotFound, fmt.Sprintf("dataset %q not found (GET /datasets lists loaded ones)", name))
+		return nil, false
+	}
+	return d, true
+}

@@ -92,6 +92,13 @@ type Options struct {
 	// excess requests get 429 (default 2). Fully-cached batches never
 	// take a slot.
 	MaxConcurrentBatches int
+	// MaxDatasets caps the registry size — the startup dataset plus
+	// datasets loaded at runtime via POST /datasets/load (default 8).
+	MaxDatasets int
+	// MaxLoadPoints caps the N a POST /datasets/load may generate —
+	// loading allocates N×D floats and preprocesses them inline, so an
+	// unbounded request is a memory/CPU DoS (default 100000).
+	MaxLoadPoints int
 }
 
 func (o *Options) setDefaults() {
@@ -131,18 +138,28 @@ func (o *Options) setDefaults() {
 	if o.MaxConcurrentBatches <= 0 {
 		o.MaxConcurrentBatches = 2
 	}
+	if o.MaxDatasets <= 0 {
+		o.MaxDatasets = 8
+	}
+	if o.MaxLoadPoints <= 0 {
+		o.MaxLoadPoints = 100_000
+	}
 }
 
-// Server is the HTTP face of one preprocessed Miner.
+// Server is the HTTP face of a registry of preprocessed Miners: the
+// default dataset it was constructed over plus any loaded at runtime
+// through POST /datasets/load. Compute bounds (scan/query/batch
+// semaphores) are process-wide, shared across datasets; result caches
+// and evaluator pools are per dataset.
 type Server struct {
-	miner    *core.Miner
-	pool     *core.EvaluatorPool
+	reg      *registry
+	def      *dataset
 	opts     Options
-	cache    *resultCache
 	stats    *serverStats
 	scanSem  chan struct{}
 	querySem chan struct{}
 	batchSem chan struct{}
+	loadSem  chan struct{}
 	mux      *http.ServeMux
 	started  time.Time
 }
@@ -150,7 +167,8 @@ type Server struct {
 // New builds a Server over the Miner, running Preprocess if the
 // caller has not already (directly or via ImportState). Preprocessing
 // at construction — before any request goroutine exists — is what
-// makes the shared Miner state read-only from then on.
+// makes the shared Miner state read-only from then on. The Miner
+// becomes the registry's default dataset.
 func New(m *core.Miner, opts Options) (*Server, error) {
 	if m == nil {
 		return nil, fmt.Errorf("server: nil miner")
@@ -160,23 +178,26 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: preprocessing: %w", err)
 	}
 	s := &Server{
-		miner:    m,
-		pool:     m.NewEvaluatorPool(),
 		opts:     opts,
-		cache:    newResultCache(opts.CacheSize),
 		stats:    newServerStats(opts.LatencyWindow),
 		scanSem:  make(chan struct{}, opts.MaxConcurrentScans),
 		querySem: make(chan struct{}, opts.MaxConcurrentQueries),
 		batchSem: make(chan struct{}, opts.MaxConcurrentBatches),
+		loadSem:  make(chan struct{}, 1),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
+	s.def = s.newDatasetEntry(DefaultDatasetName, m, opts.PointTransform)
+	s.reg = newRegistry(s.def, opts.MaxDatasets)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /scan", s.handleScan)
 	s.mux.HandleFunc("GET /state", s.handleState)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /datasets/load", s.handleLoadDataset)
+	s.mux.HandleFunc("POST /datasets/evict", s.handleEvictDataset)
 	return s, nil
 }
 
@@ -185,14 +206,28 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
 
 // Stats returns a point-in-time counter snapshot (also served at
-// GET /stats).
+// GET /stats). The scalar counters come from one consistent locked
+// snapshot; the per-dataset section is appended after it.
 func (s *Server) Stats() StatsSnapshot {
-	return s.stats.snapshot(s.cache.len(), time.Since(s.started))
+	entries := s.reg.list()
+	cacheEntries := 0
+	for _, d := range entries {
+		cacheEntries += d.cache.len()
+	}
+	snap := s.stats.snapshot(cacheEntries, time.Since(s.started))
+	snap.Datasets = make([]DatasetStats, len(entries))
+	for i, d := range entries {
+		snap.Datasets[i] = d.stats()
+	}
+	return snap
 }
 
 // ---- request/response bodies ----
 
 type queryRequest struct {
+	// Dataset routes the query to a registry entry ("" = the default
+	// dataset the process started with).
+	Dataset string `json:"dataset,omitempty"`
 	// Exactly one of Index (dataset row) or Point (ad-hoc vector) must
 	// be set.
 	Index *int      `json:"index,omitempty"`
@@ -222,9 +257,10 @@ type queryResponse struct {
 }
 
 type scanRequest struct {
-	MaxResults     int  `json:"max_results,omitempty"`
-	SortBySeverity bool `json:"sort_by_severity,omitempty"`
-	Workers        int  `json:"workers,omitempty"`
+	Dataset        string `json:"dataset,omitempty"`
+	MaxResults     int    `json:"max_results,omitempty"`
+	SortBySeverity bool   `json:"sort_by_severity,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
 }
 
 type scanResponse struct {
@@ -249,6 +285,8 @@ type healthResponse struct {
 	Threshold     float64 `json:"threshold"`
 	Policy        string  `json:"policy"`
 	Backend       string  `json:"backend"`
+	Shards        int     `json:"shards"`
+	Datasets      int     `json:"datasets"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -259,29 +297,35 @@ type errorResponse struct {
 // ---- handlers ----
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.stats.inFlight.Add(1)
-	defer s.stats.inFlight.Add(-1)
+	s.stats.startRequest()
+	defer s.stats.endRequest()
 	start := time.Now()
 
 	var req queryRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	point, exclude, emsg := s.resolveQueryTarget(req.Index, req.Point)
+	d, ok := s.resolveDataset(w, req.Dataset)
+	if !ok {
+		return
+	}
+	point, exclude, emsg := d.resolveQueryTarget(req.Index, req.Point)
 	if emsg != "" {
 		s.error(w, http.StatusBadRequest, emsg)
 		return
 	}
 
 	key := cacheKey(point, exclude)
-	if resp, ok := s.cache.get(key); ok {
+	if resp, ok := d.cache.get(key); ok {
 		// An entry whose full outlying set was too large to pin (see
 		// MaxCachedMasks) cannot serve include_all; fall through and
 		// recompute for that combination only.
 		if !req.IncludeAll || resp.outlyingMasks != nil || resp.OutlyingCount == 0 {
-			s.stats.cacheHits.Add(1)
-			s.stats.queries.Add(1)
-			s.stats.observe(time.Since(start))
+			// The per-dataset counter mirrors the global one: answers
+			// served, not requests received (scan/batch count the same
+			// way), so DatasetStats.Queries sums to the scalar counters.
+			d.queries.Add(1)
+			s.stats.recordQuery(true, time.Since(start))
 			out := *resp // copy: cached value stays immutable
 			out.Cached = true
 			out.ElapsedMs = msSince(start)
@@ -320,13 +364,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// the handler's deadline — so concurrent evaluators stay
 		// bounded by MaxConcurrentQueries.
 		defer func() { <-s.querySem }()
-		eval, err := s.pool.Get()
+		eval, err := d.pool.Get()
 		if err != nil {
 			done <- outcome{nil, err}
 			return
 		}
-		res, err := s.miner.QueryWith(eval, point, exclude)
-		s.pool.Put(eval)
+		res, err := d.miner.QueryWith(eval, point, exclude)
+		d.pool.Put(eval)
 		if err != nil {
 			done <- outcome{nil, err}
 			return
@@ -354,8 +398,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			stripped.outlyingMasks = nil
 			toCache = &stripped
 		}
-		s.cache.put(key, toCache)
-		s.stats.odEvals.Add(res.ODEvaluations)
+		d.cache.put(key, toCache)
+		s.stats.addODEvals(res.ODEvaluations)
 		done <- outcome{resp, nil}
 	}()
 
@@ -379,9 +423,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Misses are counted when a computed answer is served, not at
 		// lookup time, so shed/timed-out requests (counted in errors)
 		// keep the invariant hits + misses == queries.
-		s.stats.cacheMiss.Add(1)
-		s.stats.queries.Add(1)
-		s.stats.observe(time.Since(start))
+		d.queries.Add(1)
+		s.stats.recordQuery(false, time.Since(start))
 		out := *o.resp
 		out.ElapsedMs = msSince(start)
 		if req.IncludeAll {
@@ -396,6 +439,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req scanRequest
 	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	d, ok := s.resolveDataset(w, req.Dataset)
+	if !ok {
 		return
 	}
 	if req.MaxResults < 0 {
@@ -443,7 +490,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	done := make(chan outcome, 1)
 	go func() {
 		defer func() { <-s.scanSem }()
-		hits, err := s.miner.ScanAllParallelContext(ctx, core.ScanOptions{
+		hits, err := d.miner.ScanAllParallelContext(ctx, core.ScanOptions{
 			MaxResults:     maxResults,
 			SortBySeverity: req.SortBySeverity,
 		}, workers)
@@ -478,13 +525,20 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 				FullSpaceOD:   h.FullSpaceOD,
 			}
 		}
-		s.stats.scans.Add(1)
+		d.queries.Add(1)
+		s.stats.recordScan()
 		s.writeJSON(w, http.StatusOK, resp)
 	}
 }
 
-func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
-	st, err := s.miner.ExportState()
+// handleState exports the preprocessed state of one dataset
+// (?dataset=name; default when absent).
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.resolveDataset(w, r.URL.Query().Get("dataset"))
+	if !ok {
+		return
+	}
+	st, err := d.miner.ExportState()
 	if err != nil {
 		s.error(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -493,15 +547,18 @@ func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	cfg := s.miner.Config()
+	m := s.def.miner
+	cfg := m.Config()
 	s.writeJSON(w, http.StatusOK, &healthResponse{
 		Status:        "ok",
-		DatasetN:      s.miner.Dataset().N(),
-		DatasetD:      s.miner.Dataset().Dim(),
+		DatasetN:      m.Dataset().N(),
+		DatasetD:      m.Dataset().Dim(),
 		K:             cfg.K,
-		Threshold:     s.miner.Threshold(),
+		Threshold:     m.Threshold(),
 		Policy:        cfg.Policy.String(),
 		Backend:       cfg.Backend.String(),
+		Shards:        m.NumShards(),
+		Datasets:      s.reg.len(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }
@@ -530,11 +587,12 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 
 // resolveQueryTarget turns a request's (index, point) pair — exactly
 // one must be set — into the evaluation point and self-exclusion
-// index, applying PointTransform to ad-hoc vectors. It is the single
-// definition of request-level target validation, shared by /query and
-// every /batch item. A non-empty errMsg is a client error.
-func (s *Server) resolveQueryTarget(index *int, point []float64) (pt []float64, exclude int, errMsg string) {
-	ds := s.miner.Dataset()
+// index, applying the dataset's point transform to ad-hoc vectors. It
+// is the single definition of request-level target validation, shared
+// by /query and every /batch item. A non-empty errMsg is a client
+// error.
+func (d *dataset) resolveQueryTarget(index *int, point []float64) (pt []float64, exclude int, errMsg string) {
+	ds := d.miner.Dataset()
 	switch {
 	case index != nil && point != nil:
 		return nil, -1, "set exactly one of \"index\" and \"point\""
@@ -548,8 +606,8 @@ func (s *Server) resolveQueryTarget(index *int, point []float64) (pt []float64, 
 		if len(point) != ds.Dim() {
 			return nil, -1, fmt.Sprintf("point has %d dims, dataset has %d", len(point), ds.Dim())
 		}
-		if s.opts.PointTransform != nil {
-			point = s.opts.PointTransform(point)
+		if d.transform != nil {
+			point = d.transform(point)
 		}
 		return point, -1, ""
 	default:
@@ -588,7 +646,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func (s *Server) error(w http.ResponseWriter, status int, msg string) {
-	s.stats.errors.Add(1)
+	s.stats.recordError()
 	s.writeJSON(w, status, &errorResponse{Error: msg})
 }
 

@@ -3,28 +3,35 @@ package server
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
-// serverStats aggregates the counters behind GET /stats. Counters are
-// atomics; query latencies go into a bounded ring so percentiles
-// reflect recent traffic without unbounded memory.
+// serverStats aggregates the counters behind GET /stats. All counters
+// live under one mutex and every update path mutates its counters in
+// one critical section, so a snapshot — also taken under the lock —
+// is always internally consistent: concurrent scrapes can never
+// observe cache_hits + cache_misses != queries, an od_evaluations
+// total from a different instant than the query count that produced
+// it, or latency percentiles torn across a ring write. (The previous
+// field-by-field atomic reads allowed all three.) Query latencies go
+// into a bounded ring so percentiles reflect recent traffic without
+// unbounded memory.
 type serverStats struct {
-	queries   atomic.Int64 // /query requests answered (cached or not)
-	scans     atomic.Int64 // /scan requests answered
-	errors    atomic.Int64 // requests that failed (4xx/5xx)
-	cacheHits atomic.Int64
-	cacheMiss atomic.Int64
-	inFlight  atomic.Int64
-	odEvals   atomic.Int64 // OD computations spent on /query and /batch work
+	mu sync.Mutex
 
-	batches            atomic.Int64 // /batch requests answered
-	batchItems         atomic.Int64 // items across all answered batches
-	batchODCacheHits   atomic.Int64 // shared per-batch OD cache hits
-	batchODCacheMisses atomic.Int64 // shared per-batch OD cache misses
+	queries   int64 // /query requests answered (cached or not)
+	scans     int64 // /scan requests answered
+	errors    int64 // requests that failed (4xx/5xx)
+	cacheHits int64
+	cacheMiss int64
+	inFlight  int64
+	odEvals   int64 // OD computations spent on /query and /batch work
 
-	mu   sync.Mutex
+	batches            int64 // /batch requests answered
+	batchItems         int64 // items across all answered batches
+	batchODCacheHits   int64 // shared per-batch OD cache hits
+	batchODCacheMisses int64 // shared per-batch OD cache misses
+
 	ring []time.Duration // query latencies, ring buffer
 	next int             // next write position
 	full bool
@@ -37,30 +44,75 @@ func newServerStats(window int) *serverStats {
 	return &serverStats{ring: make([]time.Duration, window)}
 }
 
-// observe records one query latency.
-func (s *serverStats) observe(d time.Duration) {
+// startRequest / endRequest bracket an in-flight /query.
+func (s *serverStats) startRequest() {
 	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+}
+
+func (s *serverStats) endRequest() {
+	s.mu.Lock()
+	s.inFlight--
+	s.mu.Unlock()
+}
+
+// recordQuery counts one answered /query — hit or miss, latency, and
+// the ring write — as a single atomic transition, which is what keeps
+// the hits + misses == queries invariant visible to every scrape.
+func (s *serverStats) recordQuery(hit bool, latency time.Duration) {
+	s.mu.Lock()
+	s.queries++
+	if hit {
+		s.cacheHits++
+	} else {
+		s.cacheMiss++
+	}
+	s.observeLocked(latency)
+	s.mu.Unlock()
+}
+
+// addODEvals accounts engine work. It is called from the compute
+// goroutine when an answer lands (even when the requesting handler
+// already timed out, since the work was still done).
+func (s *serverStats) addODEvals(n int64) {
+	s.mu.Lock()
+	s.odEvals += n
+	s.mu.Unlock()
+}
+
+func (s *serverStats) recordScan() {
+	s.mu.Lock()
+	s.scans++
+	s.mu.Unlock()
+}
+
+func (s *serverStats) recordError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// recordBatch counts one answered /batch with its item count and
+// shared OD-cache accounting in a single transition.
+func (s *serverStats) recordBatch(items int, odHits, odMisses, odEvals int64) {
+	s.mu.Lock()
+	s.batches++
+	s.batchItems += int64(items)
+	s.batchODCacheHits += odHits
+	s.batchODCacheMisses += odMisses
+	s.odEvals += odEvals
+	s.mu.Unlock()
+}
+
+// observeLocked records one query latency; the caller holds mu.
+func (s *serverStats) observeLocked(d time.Duration) {
 	s.ring[s.next] = d
 	s.next++
 	if s.next == len(s.ring) {
 		s.next = 0
 		s.full = true
 	}
-	s.mu.Unlock()
-}
-
-// latencies returns a sorted copy of the recorded window.
-func (s *serverStats) latencies() []time.Duration {
-	s.mu.Lock()
-	n := s.next
-	if s.full {
-		n = len(s.ring)
-	}
-	out := make([]time.Duration, n)
-	copy(out, s.ring[:n])
-	s.mu.Unlock()
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
 }
 
 // percentile reads the q-quantile (0 < q ≤ 1) from a sorted sample
@@ -79,48 +131,81 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[rank]
 }
 
-// StatsSnapshot is the JSON body of GET /stats.
-type StatsSnapshot struct {
-	Queries       int64   `json:"queries"`
-	Scans         int64   `json:"scans"`
-	Errors        int64   `json:"errors"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheEntries  int     `json:"cache_entries"`
-	InFlight      int64   `json:"in_flight"`
-	ODEvaluations int64   `json:"od_evaluations"`
-	Batches       int64   `json:"batches"`
-	BatchItems    int64   `json:"batch_items"`
-	BatchODHits   int64   `json:"batch_od_cache_hits"`
-	BatchODMisses int64   `json:"batch_od_cache_misses"`
-	LatencySample int     `json:"latency_sample"`
-	P50Ms         float64 `json:"latency_p50_ms"`
-	P90Ms         float64 `json:"latency_p90_ms"`
-	P99Ms         float64 `json:"latency_p99_ms"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+// DatasetStats summarises one registry entry inside StatsSnapshot.
+type DatasetStats struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	D       int    `json:"d"`
+	Shards  int    `json:"shards"`
+	Queries int64  `json:"queries"`
+	// PerShard is the cumulative per-shard k-NN work (nil for an
+	// unsharded dataset): one entry per shard.
+	PerShard []ShardStats `json:"per_shard,omitempty"`
 }
 
-// snapshot assembles the current counters.
+// ShardStats is one shard's point count and cumulative search work.
+type ShardStats struct {
+	Points         int   `json:"points"`
+	Queries        int64 `json:"queries"`
+	PointsExamined int64 `json:"points_examined"`
+	NodesVisited   int64 `json:"nodes_visited"`
+}
+
+// StatsSnapshot is the JSON body of GET /stats.
+type StatsSnapshot struct {
+	Queries       int64          `json:"queries"`
+	Scans         int64          `json:"scans"`
+	Errors        int64          `json:"errors"`
+	CacheHits     int64          `json:"cache_hits"`
+	CacheMisses   int64          `json:"cache_misses"`
+	CacheEntries  int            `json:"cache_entries"`
+	InFlight      int64          `json:"in_flight"`
+	ODEvaluations int64          `json:"od_evaluations"`
+	Batches       int64          `json:"batches"`
+	BatchItems    int64          `json:"batch_items"`
+	BatchODHits   int64          `json:"batch_od_cache_hits"`
+	BatchODMisses int64          `json:"batch_od_cache_misses"`
+	Datasets      []DatasetStats `json:"datasets"`
+	LatencySample int            `json:"latency_sample"`
+	P50Ms         float64        `json:"latency_p50_ms"`
+	P90Ms         float64        `json:"latency_p90_ms"`
+	P99Ms         float64        `json:"latency_p99_ms"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+}
+
+// snapshot assembles the counters under one lock acquisition. Sorting
+// the latency copy happens outside the critical section — the copy is
+// private — so scrapes do not stall the serving path.
 func (s *serverStats) snapshot(cacheEntries int, uptime time.Duration) StatsSnapshot {
-	lat := s.latencies()
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	return StatsSnapshot{
-		Queries:       s.queries.Load(),
-		Scans:         s.scans.Load(),
-		Errors:        s.errors.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMiss.Load(),
-		CacheEntries:  cacheEntries,
-		InFlight:      s.inFlight.Load(),
-		ODEvaluations: s.odEvals.Load(),
-		Batches:       s.batches.Load(),
-		BatchItems:    s.batchItems.Load(),
-		BatchODHits:   s.batchODCacheHits.Load(),
-		BatchODMisses: s.batchODCacheMisses.Load(),
-		LatencySample: len(lat),
-		P50Ms:         ms(percentile(lat, 0.50)),
-		P90Ms:         ms(percentile(lat, 0.90)),
-		P99Ms:         ms(percentile(lat, 0.99)),
-		UptimeSeconds: uptime.Seconds(),
+	s.mu.Lock()
+	n := s.next
+	if s.full {
+		n = len(s.ring)
 	}
+	lat := make([]time.Duration, n)
+	copy(lat, s.ring[:n])
+	snap := StatsSnapshot{
+		Queries:       s.queries,
+		Scans:         s.scans,
+		Errors:        s.errors,
+		CacheHits:     s.cacheHits,
+		CacheMisses:   s.cacheMiss,
+		CacheEntries:  cacheEntries,
+		InFlight:      s.inFlight,
+		ODEvaluations: s.odEvals,
+		Batches:       s.batches,
+		BatchItems:    s.batchItems,
+		BatchODHits:   s.batchODCacheHits,
+		BatchODMisses: s.batchODCacheMisses,
+	}
+	s.mu.Unlock()
+
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	snap.LatencySample = len(lat)
+	snap.P50Ms = ms(percentile(lat, 0.50))
+	snap.P90Ms = ms(percentile(lat, 0.90))
+	snap.P99Ms = ms(percentile(lat, 0.99))
+	snap.UptimeSeconds = uptime.Seconds()
+	return snap
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -27,27 +28,26 @@ func TestPercentile(t *testing.T) {
 func TestLatencyRingWraps(t *testing.T) {
 	s := newServerStats(4)
 	for i := 1; i <= 10; i++ {
-		s.observe(time.Duration(i) * time.Millisecond)
+		s.recordQuery(false, time.Duration(i)*time.Millisecond)
 	}
-	lat := s.latencies()
-	if len(lat) != 4 {
-		t.Fatalf("window holds %d, want 4", len(lat))
+	snap := s.snapshot(0, 0)
+	if snap.LatencySample != 4 {
+		t.Fatalf("window holds %d, want 4", snap.LatencySample)
 	}
-	// Only the most recent 4 observations (7..10ms) survive.
-	if lat[0] != 7*time.Millisecond || lat[3] != 10*time.Millisecond {
-		t.Fatalf("window = %v", lat)
+	// Only the most recent 4 observations (7..10ms) survive; the
+	// nearest-rank p50 of {7,8,9,10} is 8, the p99 is 10.
+	if snap.P50Ms != 8 || snap.P99Ms != 10 {
+		t.Fatalf("percentiles = %+v", snap)
 	}
 }
 
 func TestSnapshotPercentiles(t *testing.T) {
 	s := newServerStats(8)
-	s.queries.Add(3)
-	s.cacheHits.Add(1)
-	for _, d := range []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 6 * time.Millisecond} {
-		s.observe(d)
-	}
+	s.recordQuery(true, 2*time.Millisecond)
+	s.recordQuery(false, 4*time.Millisecond)
+	s.recordQuery(false, 6*time.Millisecond)
 	snap := s.snapshot(5, 10*time.Second)
-	if snap.Queries != 3 || snap.CacheHits != 1 || snap.CacheEntries != 5 {
+	if snap.Queries != 3 || snap.CacheHits != 1 || snap.CacheMisses != 2 || snap.CacheEntries != 5 {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 	if snap.LatencySample != 3 || snap.P50Ms != 4 {
@@ -55,5 +55,65 @@ func TestSnapshotPercentiles(t *testing.T) {
 	}
 	if snap.UptimeSeconds != 10 {
 		t.Fatalf("uptime = %v", snap.UptimeSeconds)
+	}
+}
+
+// TestSnapshotNeverTorn is the regression test for the torn-stats
+// bug: counters used to be read field by field, so a scrape racing a
+// query could observe cache_hits + cache_misses != queries or a batch
+// item total from a different instant than its batch count. Every
+// update path now commits its counters in one critical section and
+// the snapshot reads under the same lock, so the invariants below
+// must hold in EVERY scrape, not just the final one. Run under
+// -race (as CI does) this also proves the locking is sound.
+func TestSnapshotNeverTorn(t *testing.T) {
+	s := newServerStats(64)
+	const writers = 4
+	const perWriter = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.startRequest()
+				s.recordQuery(i%2 == 0, time.Duration(i)*time.Microsecond)
+				s.addODEvals(3)
+				s.recordBatch(2, 1, 1, 5)
+				s.endRequest()
+			}
+		}()
+	}
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+
+	scrape := func() {
+		snap := s.snapshot(0, 0)
+		if snap.CacheHits+snap.CacheMisses != snap.Queries {
+			t.Fatalf("torn snapshot: hits %d + misses %d != queries %d",
+				snap.CacheHits, snap.CacheMisses, snap.Queries)
+		}
+		if snap.BatchItems != 2*snap.Batches {
+			t.Fatalf("torn snapshot: %d items for %d two-item batches", snap.BatchItems, snap.Batches)
+		}
+		if snap.InFlight < 0 || snap.InFlight > writers {
+			t.Fatalf("torn snapshot: in_flight = %d", snap.InFlight)
+		}
+	}
+	for {
+		select {
+		case <-writersDone:
+			scrape()
+			snap := s.snapshot(0, 0)
+			if want := int64(writers * perWriter); snap.Queries != want {
+				t.Fatalf("queries = %d, want %d", snap.Queries, want)
+			}
+			if snap.InFlight != 0 {
+				t.Fatalf("in_flight = %d after all requests ended", snap.InFlight)
+			}
+			return
+		default:
+			scrape()
+		}
 	}
 }

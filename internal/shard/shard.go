@@ -1,0 +1,386 @@
+// Package shard partitions a dataset across N shards, each with its
+// own k-NN backend index, and answers neighbourhood queries by
+// scatter-gather: every (point, subspace) probe fans out to all shards
+// in parallel, each shard returns its local k nearest neighbours, and
+// the partials are merged into the exact global answer.
+//
+// The merge is exact, not approximate: the global k nearest
+// neighbours of a query each live in some shard, and within that
+// shard nothing can outrank them, so each one appears in its shard's
+// local top-k. The union of the per-shard top-k lists therefore
+// contains the global top-k, and selecting the k best by the same
+// (distance, index) order every Searcher already guarantees
+// reproduces the single-index answer byte for byte — both backends
+// compute a point's distance with the identical float operations
+// regardless of which shard holds it. Since the Outlying Degree (§2)
+// is the distance sum over exactly that neighbour set, a sharded
+// OD equals the unsharded OD bit for bit; internal/conformance
+// asserts this across shard counts, partitioners and policies.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/knn"
+	"repro/internal/subspace"
+	"repro/internal/vector"
+	"repro/internal/xtree"
+)
+
+// Partitioner selects how dataset rows are assigned to shards. Both
+// strategies are deterministic: the same dataset and shard count
+// always produce the same partition.
+type Partitioner uint8
+
+const (
+	// RoundRobin deals rows to shards in turn (row i → shard i mod N):
+	// perfectly balanced and oblivious to the data.
+	RoundRobin Partitioner = iota
+	// HashPoint assigns each row by an FNV-1a hash of its coordinate
+	// bit patterns, so a point's shard is a function of its value, not
+	// its position — stable under row reordering, at the cost of
+	// statistical (not exact) balance.
+	HashPoint
+)
+
+// String names the partitioner (the spelling ParsePartitioner accepts).
+func (p Partitioner) String() string {
+	switch p {
+	case RoundRobin:
+		return "roundrobin"
+	case HashPoint:
+		return "hash"
+	default:
+		return fmt.Sprintf("Partitioner(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p is a defined partitioner.
+func (p Partitioner) Valid() bool { return p <= HashPoint }
+
+// ParsePartitioner parses the CLI spelling of a Partitioner — the
+// inverse of Partitioner.String.
+func ParsePartitioner(s string) (Partitioner, error) {
+	switch s {
+	case "roundrobin", "round-robin":
+		return RoundRobin, nil
+	case "hash":
+		return HashPoint, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown partitioner %q (have roundrobin|hash)", s)
+	}
+}
+
+// Assign returns the shard in [0, shards) for dataset row idx with
+// coordinates point.
+func (p Partitioner) Assign(idx int, point []float64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	switch p {
+	case HashPoint:
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		for _, v := range point {
+			bits := math.Float64bits(v)
+			for b := 0; b < 64; b += 8 {
+				h = (h ^ (bits >> b & 0xff)) * prime64
+			}
+		}
+		return int(h % uint64(shards))
+	default: // RoundRobin
+		return idx % shards
+	}
+}
+
+// IndexKind selects the per-shard k-NN index, mirroring the engine
+// backends of internal/core but applied shard by shard.
+type IndexKind uint8
+
+const (
+	// IndexAuto builds an X-tree for shards at or above
+	// AutoXTreeThreshold points and a linear scan below it.
+	IndexAuto IndexKind = iota
+	// IndexLinear always scans.
+	IndexLinear
+	// IndexXTree always builds an X-tree per shard.
+	IndexXTree
+)
+
+// AutoXTreeThreshold is the per-shard size at which IndexAuto switches
+// from a linear scan to an X-tree.
+const AutoXTreeThreshold = 512
+
+// Config parameterises an Engine.
+type Config struct {
+	// Shards is the partition width (≥ 1; 1 degrades to a single
+	// index behind the scatter-gather plumbing).
+	Shards int
+	// Partitioner assigns rows to shards (default RoundRobin).
+	Partitioner Partitioner
+	// Metric is the distance metric shared by every shard index.
+	Metric vector.Metric
+	// Index selects the per-shard backend (default IndexAuto).
+	Index IndexKind
+}
+
+// partition is one shard: a copied sub-dataset, its local→global row
+// mapping, and the immutable index built over it (tree == nil means
+// linear scan). Everything here is read-only after NewEngine.
+type partition struct {
+	sub    *vector.Dataset
+	global []int       // local row → global row
+	tree   *xtree.Tree // non-nil when this shard is X-tree backed
+}
+
+// shardCounters aggregates work across all Searchers, per shard.
+type shardCounters struct {
+	queries        atomic.Int64
+	pointsExamined atomic.Int64
+	nodesVisited   atomic.Int64
+}
+
+// Engine is the immutable heart of the sharded backend: the partition
+// of one dataset plus the per-shard indexes. Build one Engine per
+// dataset, then give each worker goroutine its own Searcher via
+// NewSearcher — the Engine itself is safe for any number of
+// concurrent readers.
+type Engine struct {
+	ds      *vector.Dataset
+	cfg     Config
+	parts   []*partition
+	shardOf []int32 // global row → owning shard
+	localOf []int32 // global row → local row within its shard
+	work    []shardCounters
+	// parallel is the fan-out decision, taken once at construction:
+	// probing it per KNN call via runtime.GOMAXPROCS(0) would take the
+	// scheduler lock on the hottest path in the system.
+	parallel bool
+}
+
+// NewEngine partitions ds and builds one index per shard.
+func NewEngine(ds *vector.Dataset, cfg Config) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("shard: nil dataset")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards, need ≥ 1", cfg.Shards)
+	}
+	if cfg.Shards > ds.N() {
+		return nil, fmt.Errorf("shard: %d shards exceed the %d dataset points", cfg.Shards, ds.N())
+	}
+	if !cfg.Partitioner.Valid() {
+		return nil, fmt.Errorf("shard: invalid partitioner %v", cfg.Partitioner)
+	}
+	if !cfg.Metric.Valid() {
+		return nil, fmt.Errorf("shard: invalid metric %v", cfg.Metric)
+	}
+	if cfg.Index > IndexXTree {
+		return nil, fmt.Errorf("shard: invalid index kind %v", cfg.Index)
+	}
+
+	n, d := ds.N(), ds.Dim()
+	e := &Engine{
+		ds:       ds,
+		cfg:      cfg,
+		parts:    make([]*partition, cfg.Shards),
+		shardOf:  make([]int32, n),
+		localOf:  make([]int32, n),
+		work:     make([]shardCounters, cfg.Shards),
+		parallel: cfg.Shards > 1 && runtime.GOMAXPROCS(0) > 1,
+	}
+
+	rows := make([][]int, cfg.Shards)
+	for i := 0; i < n; i++ {
+		s := cfg.Partitioner.Assign(i, ds.Point(i), cfg.Shards)
+		e.shardOf[i] = int32(s)
+		e.localOf[i] = int32(len(rows[s]))
+		rows[s] = append(rows[s], i)
+	}
+
+	for s := range e.parts {
+		flat := make([]float64, 0, len(rows[s])*d)
+		for _, g := range rows[s] {
+			flat = append(flat, ds.Point(g)...)
+		}
+		sub, err := vector.NewDataset(flat, len(rows[s]), d)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		p := &partition{sub: sub, global: rows[s]}
+		useTree := cfg.Index == IndexXTree ||
+			(cfg.Index == IndexAuto && sub.N() >= AutoXTreeThreshold)
+		if useTree {
+			t, err := xtree.Build(sub, cfg.Metric, xtree.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", s, err)
+			}
+			p.tree = t
+		}
+		e.parts[s] = p
+	}
+	return e, nil
+}
+
+// NumShards returns the partition width.
+func (e *Engine) NumShards() int { return len(e.parts) }
+
+// ShardSizes returns the number of points resident in each shard.
+func (e *Engine) ShardSizes() []int {
+	out := make([]int, len(e.parts))
+	for i, p := range e.parts {
+		out[i] = p.sub.N()
+	}
+	return out
+}
+
+// ShardOf returns the shard owning global row idx.
+func (e *Engine) ShardOf(idx int) int { return int(e.shardOf[idx]) }
+
+// Config returns the Engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ShardStats returns cumulative per-shard work counters aggregated
+// across every Searcher the Engine has handed out.
+func (e *Engine) ShardStats() []knn.SearchStats {
+	out := make([]knn.SearchStats, len(e.work))
+	for i := range e.work {
+		out[i] = knn.SearchStats{
+			Queries:        e.work[i].queries.Load(),
+			PointsExamined: e.work[i].pointsExamined.Load(),
+			NodesVisited:   e.work[i].nodesVisited.Load(),
+		}
+	}
+	return out
+}
+
+// newSubSearcher builds a fresh cursor over shard s: the underlying
+// index (dataset or tree) is shared and immutable, only the cursor
+// and its counters are per-Searcher.
+func (e *Engine) newSubSearcher(s int) (knn.Searcher, error) {
+	p := e.parts[s]
+	if p.tree != nil {
+		return xtree.NewSearcher(p.tree), nil
+	}
+	return knn.NewLinear(p.sub, e.cfg.Metric)
+}
+
+// NewSearcher builds a scatter-gather cursor over every shard for use
+// by one goroutine at a time — the per-worker analogue of
+// knn.NewLinear / xtree.NewSearcher. Construction is cheap (one
+// cursor per shard); the heavy per-shard indexes are shared.
+func (e *Engine) NewSearcher() (*Searcher, error) {
+	subs := make([]knn.Searcher, len(e.parts))
+	for s := range subs {
+		sub, err := e.newSubSearcher(s)
+		if err != nil {
+			return nil, err
+		}
+		subs[s] = sub
+	}
+	return &Searcher{engine: e, subs: subs}, nil
+}
+
+// Searcher implements knn.Searcher by scatter-gather over the
+// Engine's shards. One Searcher serves one goroutine at a time; any
+// number of Searchers from the same Engine may run concurrently.
+type Searcher struct {
+	engine *Engine
+	subs   []knn.Searcher
+	stats  knn.SearchStats
+}
+
+// KNN implements knn.Searcher: fan the probe out to every shard in
+// parallel, remap each shard's local indices to global rows, and merge
+// the partials into the exact global top-k.
+func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) []knn.Neighbor {
+	s.stats.Queries++
+	if k <= 0 || sub.IsEmpty() {
+		return nil
+	}
+	e := s.engine
+	partials := make([][]knn.Neighbor, len(s.subs))
+	run := func(i int) {
+		localExclude := -1
+		if exclude >= 0 && int(e.shardOf[exclude]) == i {
+			localExclude = int(e.localOf[exclude])
+		}
+		before := s.subs[i].Stats()
+		nbs := s.subs[i].KNN(query, sub, k, localExclude)
+		delta := s.subs[i].Stats()
+		delta.Queries -= before.Queries
+		delta.PointsExamined -= before.PointsExamined
+		delta.NodesVisited -= before.NodesVisited
+		global := e.parts[i].global
+		for j := range nbs {
+			nbs[j].Index = global[nbs[j].Index]
+		}
+		partials[i] = nbs
+		e.work[i].queries.Add(delta.Queries)
+		e.work[i].pointsExamined.Add(delta.PointsExamined)
+		e.work[i].nodesVisited.Add(delta.NodesVisited)
+	}
+	if !e.parallel {
+		// No parallelism to win (single shard, or a single-core box at
+		// engine-build time, where goroutine handoffs only add
+		// latency): probe in place. The merged answer is identical
+		// either way.
+		for i := range s.subs {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := 1; i < len(s.subs); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		run(0) // shard 0 on the calling goroutine: one fewer handoff
+		wg.Wait()
+	}
+	return Merge(k, partials...)
+}
+
+// Stats implements knn.Searcher: scatter-gather probes issued through
+// this cursor plus the per-shard point/node work they caused.
+func (s *Searcher) Stats() knn.SearchStats {
+	out := s.stats
+	for _, sub := range s.subs {
+		st := sub.Stats()
+		out.PointsExamined += st.PointsExamined
+		out.NodesVisited += st.NodesVisited
+	}
+	return out
+}
+
+// ResetStats implements knn.Searcher.
+func (s *Searcher) ResetStats() {
+	s.stats = knn.SearchStats{}
+	for _, sub := range s.subs {
+		sub.ResetStats()
+	}
+}
+
+// Merge folds per-shard top-k lists into the global top-k, preserving
+// the Searcher contract order (ascending distance, ties by ascending
+// global index). It is symmetric in its inputs: any permutation of
+// the partials, or of the items within one partial, yields the same
+// answer — the property test in internal/conformance pins this down.
+func Merge(k int, partials ...[]knn.Neighbor) []knn.Neighbor {
+	h := knn.NewBoundedHeap(k)
+	for _, part := range partials {
+		for _, nb := range part {
+			h.Push(nb.Index, nb.Dist)
+		}
+	}
+	return h.Sorted()
+}

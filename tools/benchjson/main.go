@@ -1,0 +1,186 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_<n>.json trajectory record CI uploads as an
+// artifact — ns/op, B/op, allocs/op per benchmark, plus derived
+// shard-scaling ratios from BenchmarkShardedQuery.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./tools/benchjson -out BENCH_3.json
+//	go run ./tools/benchjson -in bench.txt -out BENCH_3.json
+//
+// The converter is line-oriented and permissive: non-benchmark lines
+// (package headers, PASS/ok, warnings) are skipped, so piping the
+// whole `go test` stream in is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -GOMAXPROCS suffix, e.g. "BenchmarkShardedQuery/shards=4-8".
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are -1 when the run lacked -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	CPUs        int         `json:"cpus"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+	// ShardSpeedup maps "<n>x" to ns/op(shards=1) / ns/op(shards=n)
+	// from BenchmarkShardedQuery — the scatter-gather scaling record
+	// (> 1 means n shards beat one). Empty when the input lacks the
+	// benchmark.
+	ShardSpeedup map[string]float64 `json:"shard_speedup,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		inPath  = fs.String("in", "", "bench output file (default: stdin)")
+		outPath = fs.String("out", "", "JSON destination (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	rep := &Report{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		CPUs:         runtime.NumCPU(),
+		Benchmarks:   benches,
+		ShardSpeedup: ShardSpeedups(benches),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, buf, 0o644)
+	}
+	_, err = stdout.Write(buf)
+	return err
+}
+
+// Parse extracts benchmark result lines from a `go test -bench`
+// stream. A result line looks like:
+//
+//	BenchmarkName/sub=1-8   3721   97094 ns/op   552 B/op   10 allocs/op
+func Parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		// Remaining fields come in (value, unit) pairs.
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				if b.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+					ok = true
+				}
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// ShardSpeedups derives ns/op(shards=1)/ns/op(shards=n) ratios from
+// BenchmarkShardedQuery sub-benchmarks. Names are matched on their
+// "/shards=<n>" component, ignoring the -GOMAXPROCS suffix.
+func ShardSpeedups(benches []Benchmark) map[string]float64 {
+	byShards := map[int]float64{}
+	for _, b := range benches {
+		if !strings.Contains(b.Name, "BenchmarkShardedQuery/") {
+			continue
+		}
+		i := strings.Index(b.Name, "shards=")
+		if i < 0 {
+			continue
+		}
+		numStr := b.Name[i+len("shards="):]
+		if j := strings.IndexAny(numStr, "-/"); j >= 0 {
+			numStr = numStr[:j]
+		}
+		n, err := strconv.Atoi(numStr)
+		if err != nil || b.NsPerOp <= 0 {
+			continue
+		}
+		byShards[n] = b.NsPerOp
+	}
+	base, ok := byShards[1]
+	if !ok {
+		return nil
+	}
+	out := map[string]float64{}
+	for n, ns := range byShards {
+		if n == 1 {
+			continue
+		}
+		out[fmt.Sprintf("%dx", n)] = base / ns
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/shard
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkShardedQuery/shards=1-8         3721     97094 ns/op     552 B/op     10 allocs/op
+BenchmarkShardedQuery/shards=2-8         3734     48720 ns/op     856 B/op     17 allocs/op
+BenchmarkShardedQuery/shards=4-8         3536     30422 ns/op    1432 B/op     29 allocs/op
+BenchmarkQueryWith-8                     1000   1200000 ns/op
+PASS
+ok      repro/internal/shard    1.799s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkShardedQuery/shards=1-8" || b.Iterations != 3721 ||
+		b.NsPerOp != 97094 || b.BytesPerOp != 552 || b.AllocsPerOp != 10 {
+		t.Fatalf("first bench = %+v", b)
+	}
+	// No -benchmem fields → -1 sentinels.
+	last := benches[3]
+	if last.BytesPerOp != -1 || last.AllocsPerOp != -1 {
+		t.Fatalf("missing-benchmem sentinels: %+v", last)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	benches, err := Parse(strings.NewReader("hello\nBenchmarkBad notanumber 12 ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d from garbage", len(benches))
+	}
+}
+
+func TestShardSpeedups(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := ShardSpeedups(benches)
+	if math.Abs(sp["2x"]-97094.0/48720.0) > 1e-9 {
+		t.Fatalf("2x speedup = %v", sp["2x"])
+	}
+	if math.Abs(sp["4x"]-97094.0/30422.0) > 1e-9 {
+		t.Fatalf("4x speedup = %v", sp["4x"])
+	}
+	if _, ok := sp["1x"]; ok {
+		t.Fatal("baseline included in speedups")
+	}
+	// Without the shards=1 baseline there is nothing to derive.
+	if got := ShardSpeedups(benches[1:]); got != nil {
+		t.Fatalf("speedups without baseline = %v", got)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-out", out}, strings.NewReader(sample), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 4 || rep.GoVersion == "" || rep.CPUs < 1 || rep.GeneratedAt == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.ShardSpeedup) != 2 {
+		t.Fatalf("shard speedups = %v", rep.ShardSpeedup)
+	}
+
+	// Stdout mode.
+	stdout.Reset()
+	if err := run(nil, strings.NewReader(sample), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "\"ns_per_op\": 97094") {
+		t.Fatalf("stdout output:\n%s", stdout.String())
+	}
+
+	// Empty input is an error, not an empty artifact.
+	if err := run(nil, strings.NewReader("PASS\n"), &stdout, &stderr); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Missing -in file surfaces the open error.
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.txt")}, nil, &stdout, &stderr); err == nil {
+		t.Fatal("missing input file accepted")
+	}
+}
