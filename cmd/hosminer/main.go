@@ -10,7 +10,7 @@
 //	hosminer -data data.csv -k 5 -tq 0.95 -samples 20 -index 0
 //	hosminer -data data.csv -k 5 -t 12.5 -point "1.0,2.0,0.3"
 //	hosminer -data data.csv -k 5 -tq 0.95 -batch "0,3,17,3"
-//	hosminer -data data.csv -k 5 -tq 0.99 -scan -top 10
+//	hosminer -data data.csv -k 5 -tq 0.99 -scan -top 10 -progress
 //
 // Output lists the minimal outlying subspaces with resolved column
 // names, plus search-cost accounting. For a long-lived process that
@@ -26,6 +26,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataio"
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batch     = fs.String("batch", "", "query many dataset rows as one batch: comma-separated indices (duplicates share OD work)")
 		batchW    = fs.Int("batch-workers", 0, "with -batch: evaluation fan-out (0 = GOMAXPROCS)")
 		top       = fs.Int("top", 10, "with -scan: report the top-N points by severity")
+		scanW     = fs.Int("scan-workers", 0, "with -scan: worker fan-out (0 = GOMAXPROCS)")
+		progress  = fs.Bool("progress", false, "with -scan: live points-evaluated progress on stderr")
 		backend   = fs.String("backend", "auto", "k-NN backend: auto|linear|xtree")
 		shards    = fs.Int("shards", 0, "partition the dataset across N scatter-gather shards (0 = single index)")
 		partition = fs.String("partitioner", "roundrobin", "with -shards: row assignment, roundrobin|hash")
@@ -144,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *scan {
-		return runScan(stdout, ds, m, *top)
+		return runScan(stdout, stderr, ds, m, *top, *scanW, *progress)
 	}
 	if *batch != "" {
 		return runBatch(stdout, ds, m, *batch, *batchW)
@@ -173,8 +176,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func runScan(w io.Writer, ds *vector.Dataset, m *core.Miner, top int) error {
-	hits, err := m.ScanAll(core.ScanOptions{SortBySeverity: true, MaxResults: top})
+func runScan(w, errw io.Writer, ds *vector.Dataset, m *core.Miner, top, workers int, progress bool) error {
+	opts := core.ScanOptions{SortBySeverity: true, MaxResults: top}
+	if progress {
+		opts.OnProgress = progressPrinter(errw)
+	}
+	// ScanAllParallelContext answers identically to ScanAll at any
+	// worker count; the fan-out only changes wall time.
+	hits, err := m.ScanAllParallelContext(context.Background(), opts, workers)
+	if progress {
+		// Terminate the \r display before anything else writes to
+		// stderr — including the error report below.
+		fmt.Fprintln(errw)
+	}
 	if err != nil {
 		return err
 	}
@@ -196,6 +210,28 @@ func runScan(w io.Writer, ds *vector.Dataset, m *core.Miner, top int) error {
 			h.Index, h.FullSpaceOD, h.OutlyingCount, strings.Join(subs, "; "))
 	}
 	return nil
+}
+
+// progressPrinter renders a scan's points-evaluated progress as an
+// in-place stderr line, printing each whole percent at most once.
+// Scan workers report concurrently and may deliver out of order; the
+// mutex keeps the display monotonic and the writes unscrambled, and
+// is cheap next to the lattice sweep each report represents.
+func progressPrinter(errw io.Writer) func(done, total int) {
+	var mu sync.Mutex
+	last := -1
+	return func(done, total int) {
+		pct := 0
+		if total > 0 {
+			pct = done * 100 / total
+		}
+		mu.Lock()
+		if pct > last {
+			last = pct
+			fmt.Fprintf(errw, "\rscanning: %3d%% (%d/%d points)", pct, done, total)
+		}
+		mu.Unlock()
+	}
 }
 
 // runBatch evaluates a comma-separated index list through the batch

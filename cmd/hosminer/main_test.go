@@ -79,6 +79,32 @@ func TestRunScan(t *testing.T) {
 	}
 }
 
+// TestRunScanProgress: -progress must draw the live stderr display up
+// to 100% without changing the scan's stdout answer.
+func TestRunScanProgress(t *testing.T) {
+	path := writeFixture(t)
+	var plain, plainErr bytes.Buffer
+	if err := run([]string{"-data", path, "-k", "4", "-tq", "0.97", "-scan", "-top", "3"}, &plain, &plainErr); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-data", path, "-k", "4", "-tq", "0.97", "-scan", "-top", "3",
+		"-progress", "-scan-workers", "2"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != plain.String() {
+		t.Fatalf("progress display changed the answer:\n%s\nvs\n%s", out.String(), plain.String())
+	}
+	se := errBuf.String()
+	if !strings.Contains(se, "scanning:") || !strings.Contains(se, "100% (120/120 points)") {
+		t.Fatalf("stderr missing progress display:\n%q", se)
+	}
+	if plainErr.Len() != 0 {
+		t.Fatalf("progress printed without -progress:\n%q", plainErr.String())
+	}
+}
+
 func TestRunNormalizeAndBackends(t *testing.T) {
 	path := writeFixture(t)
 	for _, backend := range []string{"linear", "xtree", "auto"} {

@@ -16,6 +16,8 @@
 //
 //	POST /query          {"index": 3} or {"point": [..]}, optional "dataset"
 //	POST /scan           {"max_results": 10, ...}, optional "dataset"
+//	POST /jobs/scan      the same body, run asynchronously → job id
+//	GET  /jobs/{id}      poll job status/progress; DELETE cancels
 //	POST /batch          {"items": [...]}, optional "dataset"
 //	GET  /datasets       registry listing with shard topology
 //	POST /datasets/load  generate + preprocess + register a dataset
@@ -36,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -72,6 +75,8 @@ type cliConfig struct {
 	miner     core.Config
 	loadState string
 	saveState string
+	debug     bool
+	jobDrain  time.Duration
 
 	srv server.Options
 }
@@ -83,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, ds, m, err := setup(cc)
+	srv, ds, m, err := setup(cc, stderr)
 	if err != nil {
 		return err
 	}
@@ -102,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, cc.addr, srv.Handler(), stdout)
+	return serve(ctx, cc.addr, srv, cc.jobDrain, stdout)
 }
 
 // parseFlags builds a cliConfig from the argument list.
@@ -111,7 +116,7 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "hosserve — serve concurrent outlying-subspace queries over HTTP/JSON.")
-		fmt.Fprintln(stderr, "Endpoints: POST /query, /batch, /scan, /datasets/load, /datasets/evict; GET /datasets, /state, /healthz, /stats (see README.md).")
+		fmt.Fprintln(stderr, "Endpoints: POST /query, /batch, /scan, /jobs/scan (async), /datasets/load, /datasets/evict; GET /jobs, /jobs/{id}, /datasets, /state, /healthz, /stats (see README.md).")
 		fmt.Fprintln(stderr, "See also: hosminer (one-shot queries), hosgen (datasets), hosbench (experiments).")
 		fmt.Fprintln(stderr, "Flags:")
 		fs.PrintDefaults()
@@ -145,6 +150,12 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.IntVar(&cc.srv.MaxScanResults, "max-scan-results", 0, "cap on hits per /scan (default 1000)")
 	fs.IntVar(&cc.srv.MaxConcurrentQueries, "max-queries", 0, "cap on concurrently computing queries (default 4x GOMAXPROCS)")
 	fs.IntVar(&cc.srv.MaxDatasets, "max-datasets", 0, "cap on registry size incl. the startup dataset (default 8)")
+	fs.IntVar(&cc.srv.JobQueueDepth, "job-queue", 0, "async scan-job queue depth; a full queue answers 429 + Retry-After (default 8)")
+	fs.IntVar(&cc.srv.JobWorkers, "job-workers", 0, "async scan-job worker pool size (default 1)")
+	fs.DurationVar(&cc.srv.JobResultTTL, "job-ttl", 0, "retention of finished async job results (default 15m)")
+	fs.DurationVar(&cc.srv.JobTimeout, "job-timeout", 0, "runaway backstop per async job (default 30m, negative disables)")
+	fs.DurationVar(&cc.jobDrain, "job-drain", 30*time.Second, "on shutdown, how long queued/running async jobs may finish before being cancelled")
+	fs.BoolVar(&cc.debug, "debug", false, "log debug-level serving events (abandoned scans, job lifecycle)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -162,8 +173,9 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 }
 
 // setup loads or generates the dataset, builds and preprocesses the
-// miner (or imports state), and wraps it in a server.
-func setup(cc *cliConfig) (*server.Server, *vector.Dataset, *core.Miner, error) {
+// miner (or imports state), and wraps it in a server; stderr receives
+// debug-level serving events under -debug.
+func setup(cc *cliConfig, stderr io.Writer) (*server.Server, *vector.Dataset, *core.Miner, error) {
 	ds, err := loadDataset(cc)
 	if err != nil {
 		return nil, nil, nil, err
@@ -210,6 +222,12 @@ func setup(cc *cliConfig) (*server.Server, *vector.Dataset, *core.Miner, error) 
 			return nil, nil, nil, err
 		}
 	}
+	if cc.debug {
+		// The injected stderr, not the process-global logger: run()'s
+		// writer-injection contract is what lets tests (and multiple
+		// servers in one process) capture their own debug stream.
+		cc.srv.Logf = log.New(stderr, "", log.LstdFlags).Printf
+	}
 	srv, err := server.New(m, cc.srv) // runs Preprocess when state was not imported
 	if err != nil {
 		return nil, nil, nil, err
@@ -242,14 +260,16 @@ func generate(cc *cliConfig) (*vector.Dataset, datagen.GroundTruth, error) {
 }
 
 // serve listens on addr and blocks until ctx is cancelled, then
-// drains in-flight requests (bounded) before returning.
-func serve(ctx context.Context, addr string, handler http.Handler, stdout io.Writer) error {
+// drains in-flight requests (15s) and queued async jobs (jobDrain —
+// its own budget, since the jobs this subsystem exists for run far
+// longer than any HTTP drain window) before returning.
+func serve(ctx context.Context, addr string, srv *server.Server, jobDrain time.Duration, stdout io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           handler,
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -264,8 +284,23 @@ func serve(ctx context.Context, addr string, handler http.Handler, stdout io.Wri
 	fmt.Fprintln(stdout, "shutting down...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	// Shutdown closes the listener immediately, so no new jobs can
+	// arrive even if draining in-flight requests blows the budget
+	// (a synchronous scan can legitimately outlive it — ScanTimeout
+	// defaults to 2min); the job drain must therefore run regardless
+	// of Shutdown's verdict, and on a budget of its own — sharing the
+	// HTTP window would hand a drain that waited out a slow request an
+	// already-expired context and cancel every job unconditionally.
+	// A drain cut short by its deadline has cancelled the stragglers;
+	// that is the graceful-exit contract, not a failure.
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), jobDrain)
+	defer drainCancel()
+	if err := srv.Close(drainCtx); err != nil {
+		fmt.Fprintf(stdout, "job drain cut short after %s: %v\n", jobDrain, err)
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

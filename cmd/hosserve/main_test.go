@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/dataio"
+	"repro/internal/server"
 )
 
 func writeFixture(t *testing.T) string {
@@ -32,18 +33,28 @@ func writeFixture(t *testing.T) string {
 	return path
 }
 
-func setupFromArgs(t *testing.T, args ...string) http.Handler {
+func setupServerFromArgs(t *testing.T, args ...string) *server.Server {
 	t.Helper()
 	var errBuf bytes.Buffer
 	cc, err := parseFlags(args, &errBuf)
 	if err != nil {
 		t.Fatalf("parseFlags: %v (%s)", err, errBuf.String())
 	}
-	srv, _, _, err := setup(cc)
+	srv, _, _, err := setup(cc, &errBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return srv.Handler()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Close(ctx)
+	})
+	return srv
+}
+
+func setupFromArgs(t *testing.T, args ...string) http.Handler {
+	t.Helper()
+	return setupServerFromArgs(t, args...).Handler()
 }
 
 func TestSetupFromCSV(t *testing.T) {
@@ -103,7 +114,7 @@ func TestSetupStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, m, err := setup(cc)
+	_, _, m, err := setup(cc, &errBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +175,7 @@ func TestLoadStateRejectsConflictingFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, m, err := setup(cc)
+	_, _, m, err := setup(cc, &errBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +192,7 @@ func TestLoadStateRejectsConflictingFlags(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, _, err := setup(cc); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		if _, _, _, err := setup(cc, &errBuf); err == nil || !strings.Contains(err.Error(), "conflicts") {
 			t.Errorf("args %v: want conflict error, got %v", extra, err)
 		}
 	}
@@ -203,7 +214,7 @@ func TestSetupErrors(t *testing.T) {
 		if err != nil {
 			continue // flag-level rejection is fine too
 		}
-		if _, _, _, err := setup(cc); err == nil {
+		if _, _, _, err := setup(cc, &errBuf); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
 	}
@@ -226,11 +237,56 @@ func TestParseFlagErrors(t *testing.T) {
 func TestHelpMentionsService(t *testing.T) {
 	var errBuf bytes.Buffer
 	_, _ = parseFlags([]string{"-h"}, &errBuf)
-	for _, want := range []string{"-addr", "-cache", "-query-timeout"} {
+	for _, want := range []string{"-addr", "-cache", "-query-timeout", "-job-queue", "-job-workers", "/jobs/scan"} {
 		if !strings.Contains(errBuf.String(), want) {
 			t.Fatalf("usage missing %q:\n%s", want, errBuf.String())
 		}
 	}
+}
+
+// TestAsyncScanJobRoundTrip wires the -job-* flags through to the
+// server and drives one async scan to completion over the handler.
+func TestAsyncScanJobRoundTrip(t *testing.T) {
+	h := setupFromArgs(t, "-gen", "synthetic", "-n", "150", "-d", "4", "-k", "4", "-tq", "0.95",
+		"-job-queue", "2", "-job-workers", "1", "-job-ttl", "1m", "-job-timeout", "5m")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/jobs/scan", strings.NewReader(`{"max_results": 5}`)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (body %s)", rec.Code, rec.Body.String())
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/"+sub.ID, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll: status %d", rec.Code)
+		}
+		var poll struct {
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &poll); err != nil {
+			t.Fatal(err)
+		}
+		if poll.State == "done" {
+			if len(poll.Result) == 0 {
+				t.Fatal("done job has no result")
+			}
+			return
+		}
+		if poll.State == "failed" || poll.State == "cancelled" {
+			t.Fatalf("job %s: %s", poll.State, poll.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
 }
 
 // lockedBuffer makes the serve goroutine's progress output safe to
@@ -256,11 +312,11 @@ func (b *lockedBuffer) String() string {
 // port, makes one request, then cancels the context and expects a
 // clean drain.
 func TestServeGracefulShutdown(t *testing.T) {
-	h := setupFromArgs(t, "-gen", "synthetic", "-n", "150", "-d", "4", "-k", "4", "-tq", "0.95")
+	srv := setupServerFromArgs(t, "-gen", "synthetic", "-n", "150", "-d", "4", "-k", "4", "-tq", "0.95")
 	ctx, cancel := context.WithCancel(context.Background())
 	var out lockedBuffer
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, "127.0.0.1:0", h, &out) }()
+	go func() { done <- serve(ctx, "127.0.0.1:0", srv, 30*time.Second, &out) }()
 
 	// Wait for the listener line to learn the port.
 	deadline := time.Now().Add(5 * time.Second)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/subspace"
 )
@@ -30,6 +31,17 @@ type ScanOptions struct {
 	// SortBySeverity orders hits by descending full-space OD instead
 	// of ascending index.
 	SortBySeverity bool
+	// OnProgress, when non-nil, is invoked after each point's subspace
+	// search finishes, with the number of points evaluated so far and
+	// the dataset total — the hook an async serving layer uses to
+	// report real scan progress. The done values across all calls cover
+	// 1..total exactly once and never regress, but parallel scans
+	// (including scatter-gather sharded ones) invoke the callback from
+	// their worker goroutines, so calls may be concurrent and may reach
+	// a consumer out of order: consumers should retain the maximum.
+	// The callback must be cheap and safe for concurrent use; it is
+	// not called for points a cancelled scan never evaluated.
+	OnProgress func(done, total int)
 }
 
 // ScanAll runs the outlying-subspace query for every dataset point
@@ -56,8 +68,9 @@ func (m *Miner) ScanAllContext(ctx context.Context, opts ScanOptions) ([]ScanHit
 	}
 	var hits []ScanHit
 	d := m.ds.Dim()
+	n := m.ds.N()
 	fullSpace := subspace.Full(d)
-	for i := 0; i < m.ds.N(); i++ {
+	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -66,15 +79,17 @@ func (m *Miner) ScanAllContext(ctx context.Context, opts ScanOptions) ([]ScanHit
 		if err != nil {
 			return nil, err
 		}
-		if len(res.Outlying) == 0 {
-			continue
+		if len(res.Outlying) > 0 {
+			hits = append(hits, ScanHit{
+				Index:         i,
+				Minimal:       res.Minimal,
+				OutlyingCount: len(res.Outlying),
+				FullSpaceOD:   m.eval.OD(m.ds.Point(i), fullSpace, i),
+			})
 		}
-		hits = append(hits, ScanHit{
-			Index:         i,
-			Minimal:       res.Minimal,
-			OutlyingCount: len(res.Outlying),
-			FullSpaceOD:   m.eval.OD(m.ds.Point(i), fullSpace, i),
-		})
+		if opts.OnProgress != nil {
+			opts.OnProgress(i+1, n)
+		}
 	}
 	return finishScan(hits, opts), nil
 }
@@ -119,9 +134,14 @@ func (m *Miner) ScanAllParallelContext(ctx context.Context, opts ScanOptions, wo
 	}
 
 	d := m.ds.Dim()
+	n := m.ds.N()
 	fullSpace := subspace.Full(d)
-	perPoint := make([]*ScanHit, m.ds.N())
+	perPoint := make([]*ScanHit, n)
 	errs := make([]error, workers)
+	// evaluated feeds OnProgress: one shared monotonic counter across
+	// all workers, so the callback sees every done value in 1..n
+	// exactly once (though possibly out of delivery order).
+	var evaluated atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -133,7 +153,7 @@ func (m *Miner) ScanAllParallelContext(ctx context.Context, opts ScanOptions, wo
 				return
 			}
 			rng := newDeterministicRng(m.cfg.Seed, int64(worker))
-			for i := worker; i < m.ds.N(); i += workers {
+			for i := worker; i < n; i += workers {
 				if err := ctx.Err(); err != nil {
 					errs[worker] = err
 					return
@@ -144,14 +164,16 @@ func (m *Miner) ScanAllParallelContext(ctx context.Context, opts ScanOptions, wo
 					errs[worker] = err
 					return
 				}
-				if len(res.Outlying) == 0 {
-					continue
+				if len(res.Outlying) > 0 {
+					perPoint[i] = &ScanHit{
+						Index:         i,
+						Minimal:       res.Minimal,
+						OutlyingCount: len(res.Outlying),
+						FullSpaceOD:   eval.OD(m.ds.Point(i), fullSpace, i),
+					}
 				}
-				perPoint[i] = &ScanHit{
-					Index:         i,
-					Minimal:       res.Minimal,
-					OutlyingCount: len(res.Outlying),
-					FullSpaceOD:   eval.OD(m.ds.Point(i), fullSpace, i),
+				if opts.OnProgress != nil {
+					opts.OnProgress(int(evaluated.Add(1)), n)
 				}
 			}
 		}(w)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -215,6 +216,88 @@ func TestScanAllParallelContextCancelsMidPoint(t *testing.T) {
 	// this generous bound.
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Fatalf("cancelled parallel scan took %v", elapsed)
+	}
+}
+
+// Sequential scans report progress in strict order: 1..n, each with
+// the dataset total.
+func TestScanProgressSequential(t *testing.T) {
+	ds := plantedDataset(t, 67, 50, 3, subspace.New(0))
+	m, err := NewMiner(ds, Config{K: 3, TQuantile: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls [][2]int
+	_, err = m.ScanAllContext(context.Background(), ScanOptions{
+		OnProgress: func(done, total int) { calls = append(calls, [2]int{done, total}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != ds.N() {
+		t.Fatalf("%d progress calls for %d points", len(calls), ds.N())
+	}
+	for i, c := range calls {
+		if c[0] != i+1 || c[1] != ds.N() {
+			t.Fatalf("call %d = %d/%d, want %d/%d", i, c[0], c[1], i+1, ds.N())
+		}
+	}
+}
+
+// Parallel scans report each done value in 1..n exactly once (from
+// any worker, in any delivery order) with a fixed total.
+func TestScanProgressParallelCoversEveryPoint(t *testing.T) {
+	ds := plantedDataset(t, 69, 80, 4, subspace.New(0, 1))
+	m, err := NewMiner(ds, Config{K: 4, TQuantile: 0.92, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	_, err = m.ScanAllParallelContext(context.Background(), ScanOptions{
+		OnProgress: func(done, total int) {
+			if total != ds.N() {
+				t.Errorf("total = %d, want %d", total, ds.N())
+			}
+			mu.Lock()
+			seen[done]++
+			mu.Unlock()
+		},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != ds.N() {
+		t.Fatalf("saw %d distinct done values for %d points", len(seen), ds.N())
+	}
+	for v := 1; v <= ds.N(); v++ {
+		if seen[v] != 1 {
+			t.Fatalf("done value %d reported %d times", v, seen[v])
+		}
+	}
+}
+
+// A cancelled scan must not report progress for points it never
+// evaluated.
+func TestScanProgressStopsOnCancel(t *testing.T) {
+	m := midPointScanMiner(t)
+	ctx := newCountdownCtx(8)
+	var mu sync.Mutex
+	max := 0
+	_, err := m.ScanAllParallelContext(ctx, ScanOptions{
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			if done > max {
+				max = done
+			}
+			mu.Unlock()
+		},
+	}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := m.Dataset().N(); max >= n {
+		t.Fatalf("cancelled scan reported full progress %d/%d", max, n)
 	}
 }
 

@@ -166,20 +166,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				s.error(w, http.StatusServiceUnavailable,
 					fmt.Sprintf("batch exceeded the %s deadline", s.opts.BatchTimeout))
 			} else {
-				s.error(w, http.StatusServiceUnavailable, "request cancelled")
+				s.clientGone(w, "batch")
 			}
 			return
 		case o := <-done:
 			if o.err != nil {
 				// QueryBatch is ctx-aware, so a deadline/cancel can surface
 				// through its error rather than ctx.Done() when both are
-				// ready; keep the status 503 either way.
+				// ready; classify identically either way.
 				switch {
 				case errors.Is(o.err, context.DeadlineExceeded):
 					s.error(w, http.StatusServiceUnavailable,
 						fmt.Sprintf("batch exceeded the %s deadline", s.opts.BatchTimeout))
 				case errors.Is(o.err, context.Canceled):
-					s.error(w, http.StatusServiceUnavailable, "request cancelled")
+					s.clientGone(w, "batch")
 				default:
 					s.error(w, http.StatusInternalServerError, o.err.Error())
 				}

@@ -3,12 +3,14 @@
 // HOS-Miner's expensive setup (threshold resolution + §3.2 learning)
 // calls for. Endpoints:
 //
-//	POST /query    outlying subspaces of a dataset row or ad-hoc vector
-//	POST /batch    many queries at once through a shared per-batch OD cache
-//	POST /scan     bounded whole-dataset sweep with severity ranking
-//	GET  /state    export the preprocessed state (threshold + priors)
-//	GET  /healthz  liveness + dataset summary
-//	GET  /stats    query counts, cache hit rate, latency percentiles
+//	POST /query      outlying subspaces of a dataset row or ad-hoc vector
+//	POST /batch      many queries at once through a shared per-batch OD cache
+//	POST /scan       bounded whole-dataset sweep with severity ranking
+//	POST /jobs/scan  the same sweep as an async job (progress + polling)
+//	GET  /jobs/{id}  job status/progress/result; DELETE cancels
+//	GET  /state      export the preprocessed state (threshold + priors)
+//	GET  /healthz    liveness + dataset summary
+//	GET  /stats      query counts, cache hit rate, latency percentiles
 //
 // Concurrency follows the contract documented on core.Miner: after
 // Preprocess the Miner is read-only, and every request borrows a
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/subspace"
 )
 
@@ -99,6 +102,25 @@ type Options struct {
 	// loading allocates N×D floats and preprocesses them inline, so an
 	// unbounded request is a memory/CPU DoS (default 100000).
 	MaxLoadPoints int
+	// JobQueueDepth bounds async scan jobs accepted but not yet
+	// running; a full queue rejects POST /jobs/scan with 429 and a
+	// Retry-After estimate (default 8).
+	JobQueueDepth int
+	// JobWorkers is the async job worker-pool size — how many jobs
+	// may run simultaneously, independent of MaxConcurrentScans
+	// (default 1: full-lattice scans monopolise cores).
+	JobWorkers int
+	// JobResultTTL bounds how long a finished job's result stays
+	// fetchable via GET /jobs/{id} (default 15min).
+	JobResultTTL time.Duration
+	// JobTimeout bounds one async scan job's run time (default 30min,
+	// negative disables). Deliberately far above ScanTimeout: async
+	// jobs exist so scans longer than any request deadline still
+	// complete; this is only the runaway backstop.
+	JobTimeout time.Duration
+	// Logf, when set, receives debug-level serving events (abandoned
+	// scan outcomes, job lifecycle); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o *Options) setDefaults() {
@@ -144,6 +166,18 @@ func (o *Options) setDefaults() {
 	if o.MaxLoadPoints <= 0 {
 		o.MaxLoadPoints = 100_000
 	}
+	if o.JobQueueDepth <= 0 {
+		o.JobQueueDepth = 8
+	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 1
+	}
+	if o.JobResultTTL <= 0 {
+		o.JobResultTTL = 15 * time.Minute
+	}
+	if o.JobTimeout == 0 {
+		o.JobTimeout = 30 * time.Minute
+	}
 }
 
 // Server is the HTTP face of a registry of preprocessed Miners: the
@@ -156,6 +190,7 @@ type Server struct {
 	def      *dataset
 	opts     Options
 	stats    *serverStats
+	jobs     *jobs.Manager
 	scanSem  chan struct{}
 	querySem chan struct{}
 	batchSem chan struct{}
@@ -187,11 +222,20 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
+	s.jobs = jobs.NewManager(jobs.Options{
+		QueueDepth: opts.JobQueueDepth,
+		Workers:    opts.JobWorkers,
+		ResultTTL:  opts.JobResultTTL,
+	})
 	s.def = s.newDatasetEntry(DefaultDatasetName, m, opts.PointTransform)
 	s.reg = newRegistry(s.def, opts.MaxDatasets)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /scan", s.handleScan)
+	s.mux.HandleFunc("POST /jobs/scan", s.handleSubmitScanJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /state", s.handleState)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -199,6 +243,19 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /datasets/load", s.handleLoadDataset)
 	s.mux.HandleFunc("POST /datasets/evict", s.handleEvictDataset)
 	return s, nil
+}
+
+// Close drains the async job subsystem: queued jobs still run, and
+// Close blocks until the pool is idle or ctx expires, at which point
+// the stragglers are cancelled. Call it after the HTTP listener has
+// shut down so no new jobs can arrive mid-drain.
+func (s *Server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
+
+// debugf emits a debug-level serving event through Options.Logf.
+func (s *Server) debugf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
 }
 
 // Handler returns the root handler (mux + recovery), ready for
@@ -215,6 +272,7 @@ func (s *Server) Stats() StatsSnapshot {
 		cacheEntries += d.cache.len()
 	}
 	snap := s.stats.snapshot(cacheEntries, time.Since(s.started))
+	snap.Jobs = toJobStats(s.jobs.Counters())
 	snap.Datasets = make([]DatasetStats, len(entries))
 	for i, d := range entries {
 		snap.Datasets[i] = d.stats()
@@ -339,14 +397,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Take a compute slot before spawning: when the server is
-	// saturated, requests shed here (503 on deadline or disconnect)
-	// instead of queueing unbounded abandoned work.
+	// saturated, requests shed here (503 on deadline, 408 on client
+	// disconnect) instead of queueing unbounded abandoned work.
 	deadline := time.NewTimer(s.opts.QueryTimeout)
 	defer deadline.Stop()
 	select {
 	case s.querySem <- struct{}{}:
 	case <-r.Context().Done():
-		s.error(w, http.StatusServiceUnavailable, "request cancelled")
+		s.clientGone(w, "query")
 		return
 	case <-deadline.C:
 		s.error(w, http.StatusServiceUnavailable,
@@ -405,7 +463,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case <-r.Context().Done():
-		s.error(w, http.StatusServiceUnavailable, "request cancelled")
+		s.clientGone(w, "query")
 		return
 	case <-deadline.C:
 		s.error(w, http.StatusServiceUnavailable,
@@ -435,23 +493,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+// scanPlan is a validated, clamped scan request — the shared front
+// half of the synchronous /scan handler and the async POST /jobs/scan
+// submission, so both admission paths apply identical bounds.
+type scanPlan struct {
+	d              *dataset
+	maxResults     int
+	workers        int
+	sortBySeverity bool
+}
+
+// planScan decodes and validates a scanRequest, writing the 4xx
+// itself on failure.
+func (s *Server) planScan(w http.ResponseWriter, r *http.Request) (*scanPlan, bool) {
 	var req scanRequest
 	if !s.decodeBody(w, r, &req) {
-		return
+		return nil, false
 	}
 	d, ok := s.resolveDataset(w, req.Dataset)
 	if !ok {
-		return
+		return nil, false
 	}
 	if req.MaxResults < 0 {
 		s.error(w, http.StatusBadRequest, fmt.Sprintf("max_results = %d", req.MaxResults))
-		return
+		return nil, false
 	}
 	if req.Workers < 0 {
 		s.error(w, http.StatusBadRequest, fmt.Sprintf("workers = %d", req.Workers))
-		return
+		return nil, false
 	}
 	maxResults := req.MaxResults
 	if maxResults == 0 || maxResults > s.opts.MaxScanResults {
@@ -467,12 +536,49 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if workers == 0 || workers > maxWorkers {
 		workers = maxWorkers
 	}
+	return &scanPlan{d: d, maxResults: maxResults, workers: workers, sortBySeverity: req.SortBySeverity}, true
+}
+
+// run executes the plan and renders the response; onProgress may be
+// nil (the synchronous handler has nobody to report to).
+func (p *scanPlan) run(ctx context.Context, start time.Time, onProgress func(done, total int)) (*scanResponse, error) {
+	hits, err := p.d.miner.ScanAllParallelContext(ctx, core.ScanOptions{
+		MaxResults:     p.maxResults,
+		SortBySeverity: p.sortBySeverity,
+		OnProgress:     onProgress,
+	}, p.workers)
+	if err != nil {
+		return nil, err
+	}
+	resp := &scanResponse{
+		Hits:       make([]scanHit, len(hits)),
+		HitCount:   len(hits),
+		MaxResults: p.maxResults,
+		ElapsedMs:  msSince(start),
+	}
+	for i, h := range hits {
+		resp.Hits[i] = scanHit{
+			Index:         h.Index,
+			Minimal:       masksToDims(h.Minimal),
+			OutlyingCount: h.OutlyingCount,
+			FullSpaceOD:   h.FullSpaceOD,
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	plan, ok := s.planScan(w, r)
+	if !ok {
+		return
+	}
 
 	select {
 	case s.scanSem <- struct{}{}:
 	default:
 		s.error(w, http.StatusTooManyRequests,
-			fmt.Sprintf("scan limit (%d concurrent) reached, retry later", s.opts.MaxConcurrentScans))
+			fmt.Sprintf("scan limit (%d concurrent) reached, retry later (or submit via POST /jobs/scan)", s.opts.MaxConcurrentScans))
 		return
 	}
 
@@ -484,51 +590,62 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	type outcome struct {
-		hits []core.ScanHit
+		resp *scanResponse
 		err  error
 	}
-	done := make(chan outcome, 1)
+	// done is unbuffered and quit closes when the handler returns, so
+	// the scan goroutine always learns which of the two happened: its
+	// outcome was received, or it completed for nobody — the
+	// previously-invisible abandonment the stats now count.
+	done := make(chan outcome)
+	quit := make(chan struct{})
+	defer close(quit)
 	go func() {
 		defer func() { <-s.scanSem }()
-		hits, err := d.miner.ScanAllParallelContext(ctx, core.ScanOptions{
-			MaxResults:     maxResults,
-			SortBySeverity: req.SortBySeverity,
-		}, workers)
-		done <- outcome{hits, err}
+		resp, err := plan.run(ctx, start, nil)
+		select {
+		case done <- outcome{resp, err}:
+		case <-quit:
+			s.stats.recordScanAbandoned()
+			s.debugf("server: scan abandoned after %s (dataset %s, err %v)",
+				time.Since(start).Round(time.Millisecond), plan.d.name, err)
+		}
 	}()
 
 	select {
 	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.error(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("scan exceeded the %s deadline", s.opts.ScanTimeout))
-		} else {
-			s.error(w, http.StatusServiceUnavailable, "request cancelled")
-		}
+		s.scanInterrupted(w, ctx.Err())
 		return
 	case o := <-done:
-		if o.err != nil {
+		// The scan is ctx-aware, so a deadline or disconnect can
+		// surface through its error rather than ctx.Done() when both
+		// become ready together; classify it the same way.
+		switch {
+		case o.err != nil && (errors.Is(o.err, context.DeadlineExceeded) || errors.Is(o.err, context.Canceled)):
+			s.scanInterrupted(w, o.err)
+			return
+		case o.err != nil:
 			s.error(w, http.StatusInternalServerError, o.err.Error())
 			return
 		}
-		resp := &scanResponse{
-			Hits:       make([]scanHit, len(o.hits)),
-			HitCount:   len(o.hits),
-			MaxResults: maxResults,
-			ElapsedMs:  msSince(start),
-		}
-		for i, h := range o.hits {
-			resp.Hits[i] = scanHit{
-				Index:         h.Index,
-				Minimal:       masksToDims(h.Minimal),
-				OutlyingCount: h.OutlyingCount,
-				FullSpaceOD:   h.FullSpaceOD,
-			}
-		}
-		d.queries.Add(1)
+		plan.d.queries.Add(1)
 		s.stats.recordScan()
-		s.writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, o.resp)
 	}
+}
+
+// scanInterrupted writes the status for a scan that ended before
+// producing an answer, distinguishing the server's deadline (503 — a
+// capacity signal, counted as an error) from the client closing the
+// request (408-family, the client's own doing, counted separately so
+// it cannot corrupt error-rate stats).
+func (s *Server) scanInterrupted(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.error(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("scan exceeded the %s deadline (submit via POST /jobs/scan to run it asynchronously)", s.opts.ScanTimeout))
+		return
+	}
+	s.clientGone(w, "scan")
 }
 
 // handleState exports the preprocessed state of one dataset
@@ -648,6 +765,17 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 func (s *Server) error(w http.ResponseWriter, status int, msg string) {
 	s.stats.recordError()
 	s.writeJSON(w, status, &errorResponse{Error: msg})
+}
+
+// clientGone reports a request whose own client closed the connection
+// mid-computation. The status is 408 (the 4xx "the client gave up"
+// family — nobody reads the body, but middleware and access logs do
+// read the code) and the event lands in the client_cancelled counter,
+// NOT the error counter: the old behaviour of answering 503 here made
+// every impatient client look like server overload.
+func (s *Server) clientGone(w http.ResponseWriter, what string) {
+	s.stats.recordClientCancelled()
+	s.writeJSON(w, http.StatusRequestTimeout, &errorResponse{Error: what + ": client closed request"})
 }
 
 func masksToDims(masks []subspace.Mask) [][]int {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -37,7 +38,21 @@ func newTestServer(t *testing.T, opts Options) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	registerClose(t, s)
 	return s
+}
+
+// registerClose drains the server's job subsystem at test end so job
+// workers never outlive the test that spawned them.
+func registerClose(t *testing.T, s *Server) {
+	t.Helper()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("draining jobs at cleanup: %v", err)
+		}
+	})
 }
 
 // do runs one request through the full handler stack and decodes the
@@ -288,6 +303,145 @@ func TestScanEmptyBodyUsesDefaults(t *testing.T) {
 	}
 	if resp.MaxResults != 1000 {
 		t.Fatalf("defaults not applied: max_results %d", resp.MaxResults)
+	}
+}
+
+// newSlowScanServer builds a server whose scans take seconds: a huge
+// absolute threshold with bottom-up ordering defeats upward pruning,
+// so every point sweeps its full 2^12-1 lattice — slow enough to
+// cancel or time out deterministically mid-scan.
+func newSlowScanServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{
+		N: 60, D: 12, NumOutliers: 2, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMiner(ds, core.Config{K: 3, T: 1e15, Policy: core.PolicyBottomUp, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerClose(t, s)
+	return s
+}
+
+// waitStats polls the stats snapshot until cond holds or the deadline
+// lapses — the sync point for counters recorded by goroutines that
+// outlive their handler.
+func waitStats(t *testing.T, s *Server, what string, cond func(StatsSnapshot) bool) StatsSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := s.Stats()
+		if cond(snap) {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never satisfied %s: %+v", what, snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestScanClientCancelIsNot503 is the regression test for the
+// cancellation-semantics bug: a client closing its connection
+// mid-scan used to be answered 503 and counted as a server error,
+// making impatient clients indistinguishable from overload. It must
+// be reported 408 and land in client_cancelled, leaving the error
+// counter untouched.
+func TestScanClientCancelIsNot503(t *testing.T) {
+	s := newSlowScanServer(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/scan", strings.NewReader(`{}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let the scan start
+		cancel()
+	}()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408 (body %s)", rec.Code, rec.Body.String())
+	}
+	snap := waitStats(t, s, "client_cancelled == 1", func(st StatsSnapshot) bool {
+		return st.ClientCancelled == 1
+	})
+	if snap.Errors != 0 {
+		t.Fatalf("client cancellation counted as %d server errors", snap.Errors)
+	}
+	// The interrupted scan goroutine finishes into nobody's hands and
+	// must be visible as abandoned.
+	waitStats(t, s, "scans_abandoned == 1", func(st StatsSnapshot) bool {
+		return st.ScansAbandoned == 1
+	})
+}
+
+// TestQueryClientCancelIsNot503: the same contract on /query, covering
+// the slot-wait path (the compute slot is occupied, the client gives
+// up waiting).
+func TestQueryClientCancelIsNot503(t *testing.T) {
+	s := newTestServer(t, Options{MaxConcurrentQueries: 1, QueryTimeout: 10 * time.Second})
+	s.querySem <- struct{}{} // occupy the only compute slot
+	defer func() { <-s.querySem }()
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/query", strings.NewReader(`{"index": 0}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408 (body %s)", rec.Code, rec.Body.String())
+	}
+	st := s.Stats()
+	if st.ClientCancelled != 1 || st.Errors != 0 {
+		t.Fatalf("client_cancelled/errors = %d/%d, want 1/0", st.ClientCancelled, st.Errors)
+	}
+}
+
+// TestScanDeadlineCountsAbandoned forces the deadline path: the
+// handler answers 503 (a real capacity error) and the scan goroutine,
+// completing into a channel nobody reads anymore, must be counted and
+// debug-logged instead of vanishing.
+func TestScanDeadlineCountsAbandoned(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	s := newTestServer(t, Options{
+		ScanTimeout: time.Nanosecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	rec := do(t, s.Handler(), "POST", "/scan", `{}`, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	snap := waitStats(t, s, "scans_abandoned == 1", func(st StatsSnapshot) bool {
+		return st.ScansAbandoned == 1
+	})
+	if snap.Errors != 1 {
+		t.Fatalf("errors = %d, want 1 (the 503 is the server's fault)", snap.Errors)
+	}
+	if snap.ClientCancelled != 0 {
+		t.Fatalf("client_cancelled = %d for a server-side deadline", snap.ClientCancelled)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, line := range logged {
+		if strings.Contains(line, "scan abandoned") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no abandonment debug log in %q", logged)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -20,12 +21,23 @@ type serverStats struct {
 	mu sync.Mutex
 
 	queries   int64 // /query requests answered (cached or not)
-	scans     int64 // /scan requests answered
-	errors    int64 // requests that failed (4xx/5xx)
+	scans     int64 // /scan requests answered (sync or async job)
+	errors    int64 // requests that failed (4xx/5xx, server's fault or client's mistake)
 	cacheHits int64
 	cacheMiss int64
 	inFlight  int64
 	odEvals   int64 // OD computations spent on /query and /batch work
+
+	// clientCancelled counts requests whose client closed the
+	// connection mid-computation. They are NOT errors: the server did
+	// nothing wrong, so folding them into the error counter (as the
+	// old 503-on-disconnect path did) corrupted error-rate monitoring.
+	clientCancelled int64
+	// scansAbandoned counts synchronous scans whose handler stopped
+	// listening (deadline or disconnect) before the scan goroutine
+	// delivered its outcome — work that completed (or aborted) for
+	// nobody. The async /jobs/scan path exists to drive this to zero.
+	scansAbandoned int64
 
 	batches            int64 // /batch requests answered
 	batchItems         int64 // items across all answered batches
@@ -93,6 +105,22 @@ func (s *serverStats) recordError() {
 	s.mu.Unlock()
 }
 
+// recordClientCancelled counts a request abandoned by its own client —
+// deliberately separate from recordError (see the field comment).
+func (s *serverStats) recordClientCancelled() {
+	s.mu.Lock()
+	s.clientCancelled++
+	s.mu.Unlock()
+}
+
+// recordScanAbandoned counts a scan outcome that completed with no
+// handler left to receive it.
+func (s *serverStats) recordScanAbandoned() {
+	s.mu.Lock()
+	s.scansAbandoned++
+	s.mu.Unlock()
+}
+
 // recordBatch counts one answered /batch with its item count and
 // shared OD-cache accounting in a single transition.
 func (s *serverStats) recordBatch(items int, odHits, odMisses, odEvals int64) {
@@ -116,12 +144,17 @@ func (s *serverStats) observeLocked(d time.Duration) {
 }
 
 // percentile reads the q-quantile (0 < q ≤ 1) from a sorted sample
-// using the nearest-rank method; 0 on an empty sample.
+// using the nearest-rank method — rank ⌈q·n⌉, the smallest value with
+// at least q·n of the sample at or below it; 0 on an empty sample.
+// (The previous rounding formula, int(q·n+0.5), dropped a rank
+// whenever q·n had a fractional part below one half — e.g. the p50 of
+// a 10-sample window read rank 5 where nearest-rank requires 5 only
+// for exact halves and 6 for q=0.51 — understating tail latency.)
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(q*float64(len(sorted))+0.5) - 1
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
@@ -151,26 +184,43 @@ type ShardStats struct {
 	NodesVisited   int64 `json:"nodes_visited"`
 }
 
+// JobStats is the async job-subsystem section of StatsSnapshot — a
+// rendering of jobs.Counters. Queued/Running are current occupancy;
+// everything else is cumulative.
+type JobStats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Abandoned int64 `json:"abandoned"`
+}
+
 // StatsSnapshot is the JSON body of GET /stats.
 type StatsSnapshot struct {
-	Queries       int64          `json:"queries"`
-	Scans         int64          `json:"scans"`
-	Errors        int64          `json:"errors"`
-	CacheHits     int64          `json:"cache_hits"`
-	CacheMisses   int64          `json:"cache_misses"`
-	CacheEntries  int            `json:"cache_entries"`
-	InFlight      int64          `json:"in_flight"`
-	ODEvaluations int64          `json:"od_evaluations"`
-	Batches       int64          `json:"batches"`
-	BatchItems    int64          `json:"batch_items"`
-	BatchODHits   int64          `json:"batch_od_cache_hits"`
-	BatchODMisses int64          `json:"batch_od_cache_misses"`
-	Datasets      []DatasetStats `json:"datasets"`
-	LatencySample int            `json:"latency_sample"`
-	P50Ms         float64        `json:"latency_p50_ms"`
-	P90Ms         float64        `json:"latency_p90_ms"`
-	P99Ms         float64        `json:"latency_p99_ms"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
+	Queries         int64          `json:"queries"`
+	Scans           int64          `json:"scans"`
+	Errors          int64          `json:"errors"`
+	ClientCancelled int64          `json:"client_cancelled"`
+	ScansAbandoned  int64          `json:"scans_abandoned"`
+	CacheHits       int64          `json:"cache_hits"`
+	CacheMisses     int64          `json:"cache_misses"`
+	CacheEntries    int            `json:"cache_entries"`
+	InFlight        int64          `json:"in_flight"`
+	ODEvaluations   int64          `json:"od_evaluations"`
+	Batches         int64          `json:"batches"`
+	BatchItems      int64          `json:"batch_items"`
+	BatchODHits     int64          `json:"batch_od_cache_hits"`
+	BatchODMisses   int64          `json:"batch_od_cache_misses"`
+	Jobs            JobStats       `json:"jobs"`
+	Datasets        []DatasetStats `json:"datasets"`
+	LatencySample   int            `json:"latency_sample"`
+	P50Ms           float64        `json:"latency_p50_ms"`
+	P90Ms           float64        `json:"latency_p90_ms"`
+	P99Ms           float64        `json:"latency_p99_ms"`
+	UptimeSeconds   float64        `json:"uptime_seconds"`
 }
 
 // snapshot assembles the counters under one lock acquisition. Sorting
@@ -185,18 +235,20 @@ func (s *serverStats) snapshot(cacheEntries int, uptime time.Duration) StatsSnap
 	lat := make([]time.Duration, n)
 	copy(lat, s.ring[:n])
 	snap := StatsSnapshot{
-		Queries:       s.queries,
-		Scans:         s.scans,
-		Errors:        s.errors,
-		CacheHits:     s.cacheHits,
-		CacheMisses:   s.cacheMiss,
-		CacheEntries:  cacheEntries,
-		InFlight:      s.inFlight,
-		ODEvaluations: s.odEvals,
-		Batches:       s.batches,
-		BatchItems:    s.batchItems,
-		BatchODHits:   s.batchODCacheHits,
-		BatchODMisses: s.batchODCacheMisses,
+		Queries:         s.queries,
+		Scans:           s.scans,
+		Errors:          s.errors,
+		ClientCancelled: s.clientCancelled,
+		ScansAbandoned:  s.scansAbandoned,
+		CacheHits:       s.cacheHits,
+		CacheMisses:     s.cacheMiss,
+		CacheEntries:    cacheEntries,
+		InFlight:        s.inFlight,
+		ODEvaluations:   s.odEvals,
+		Batches:         s.batches,
+		BatchItems:      s.batchItems,
+		BatchODHits:     s.batchODCacheHits,
+		BatchODMisses:   s.batchODCacheMisses,
 	}
 	s.mu.Unlock()
 

@@ -25,6 +25,41 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRankBoundaries pins the nearest-rank (⌈q·n⌉)
+// behaviour at the tiny-sample boundaries where an off-by-one hides
+// easiest, plus the fractional case the old int(q·n+0.5) formula got
+// wrong: at n=10, q=0.51 nearest-rank requires the 6th value (rank
+// ⌈5.1⌉ = 6), but round-half-up read the 5th.
+func TestPercentileNearestRankBoundaries(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"n=1 q=0.5", ms(7), 0.5, 7 * time.Millisecond},
+		{"n=1 q=0.99", ms(7), 0.99, 7 * time.Millisecond},
+		{"n=1 q=1.0", ms(7), 1.0, 7 * time.Millisecond},
+		{"n=2 q=0.5", ms(10, 20), 0.5, 10 * time.Millisecond},
+		{"n=2 q=0.99", ms(10, 20), 0.99, 20 * time.Millisecond},
+		{"n=2 q=1.0", ms(10, 20), 1.0, 20 * time.Millisecond},
+		{"n=10 q=0.51 regression", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.51, 6 * time.Millisecond},
+		{"n=10 q=1.0", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 1.0, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: percentile = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestLatencyRingWraps(t *testing.T) {
 	s := newServerStats(4)
 	for i := 1; i <= 10; i++ {
