@@ -10,6 +10,9 @@
 // The truth file maps each planted outlier's row index to its true
 // outlying subspace, e.g. "0,[2,7]". Generated CSVs feed hosminer
 // (one-shot queries) and hosserve (the HTTP query service) directly.
+// -save writes the dataset as a checksummed dataset-only snapshot
+// instead (provenance pinned), loadable by hosminer -load and
+// hosserve's POST /datasets/load {"file": ...}.
 package main
 
 import (
@@ -17,9 +20,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/dataio"
+	"repro/internal/snapshot"
 	"repro/internal/vector"
 )
 
@@ -51,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		out       = fs.String("out", "", "output CSV path (default stdout)")
 		truthPath = fs.String("truth", "", "optional ground-truth CSV path")
+		savePath  = fs.String("save", "", "also write a dataset-only .snap snapshot (checksummed binary with generator provenance; loadable by hosminer -load, hosserve /datasets/load)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +67,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ds, truth, err := generate(*typ, *n, *d, *outliers, *subDim, *clusters, *seed)
 	if err != nil {
 		return err
+	}
+
+	if *savePath != "" {
+		name := strings.TrimSuffix(filepath.Base(*savePath), ".snap")
+		snap, err := snapshot.FromDataset(name, snapshot.Provenance{
+			Generator: *typ, Seed: *seed, CreatedUnix: time.Now().Unix(),
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if err := dataio.SaveSnapshot(*savePath, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote snapshot %s (%d points x %d dims, seed %d)\n",
+			*savePath, ds.N(), ds.Dim(), *seed)
+		if *out == "" && *truthPath == "" {
+			// -save alone: don't also dump CSV to stdout.
+			return nil
+		}
 	}
 
 	if *out == "" {

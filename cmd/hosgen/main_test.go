@@ -90,3 +90,53 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("same seed produced different CSV")
 	}
 }
+
+// TestRunSaveSnapshot: -save writes a loadable dataset-only snapshot
+// with generator provenance; -save alone suppresses the CSV dump.
+func TestRunSaveSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "gen.snap")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-type", "synthetic", "-n", "30", "-d", "3", "-outliers", "2",
+		"-seed", "11", "-save", snapPath}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("-save alone still dumped CSV to stdout (%d bytes)", out.Len())
+	}
+	if !strings.Contains(errBuf.String(), "wrote snapshot") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+	s, err := dataio.LoadSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "gen" || s.HasState() {
+		t.Fatalf("snapshot = %+v, want dataset-only named gen", s)
+	}
+	if s.Provenance.Generator != "synthetic" || s.Provenance.Seed != 11 {
+		t.Fatalf("provenance = %+v", s.Provenance)
+	}
+	if s.Dataset.N() != 30 || s.Dataset.Dim() != 3 {
+		t.Fatalf("shape (%d,%d)", s.Dataset.N(), s.Dataset.Dim())
+	}
+	// The snapshot pins the same bytes the CSV path produces.
+	csvPath := filepath.Join(dir, "gen.csv")
+	var out2, errBuf2 bytes.Buffer
+	if err := run([]string{"-type", "synthetic", "-n", "30", "-d", "3", "-outliers", "2",
+		"-seed", "11", "-out", csvPath, "-save", filepath.Join(dir, "gen2.snap")}, &out2, &errBuf2); err != nil {
+		t.Fatal(err)
+	}
+	csvDS, err := dataio.LoadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 3; j++ {
+			if csvDS.Point(i)[j] != s.Dataset.Point(i)[j] {
+				t.Fatalf("value (%d,%d) diverges between CSV and snapshot", i, j)
+			}
+		}
+	}
+}

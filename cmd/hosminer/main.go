@@ -11,6 +11,8 @@
 //	hosminer -data data.csv -k 5 -t 12.5 -point "1.0,2.0,0.3"
 //	hosminer -data data.csv -k 5 -tq 0.95 -batch "0,3,17,3"
 //	hosminer -data data.csv -k 5 -tq 0.99 -scan -top 10 -progress
+//	hosminer -data data.csv -k 5 -tq 0.95 -save mined.snap
+//	hosminer -load mined.snap -index 0   # warm: no rebuild, no relearning
 //
 // Output lists the minimal outlying subspaces with resolved column
 // names, plus search-cost accounting. For a long-lived process that
@@ -24,13 +26,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataio"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 	"repro/internal/subspace"
 	"repro/internal/vector"
 )
@@ -76,65 +81,130 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxPrint  = fs.Int("max-print", 25, "max minimal subspaces to print")
 		loadState = fs.String("load-state", "", "load preprocessed state (threshold+priors) from this JSON file, skipping learning")
 		saveState = fs.String("save-state", "", "after preprocessing, save state to this JSON file")
+		loadSnap  = fs.String("load", "", "load a .snap snapshot instead of -data: a full snapshot restores dataset+config+state+index wholesale; a dataset-only snapshot supplies just the data")
+		saveSnap  = fs.String("save", "", "after preprocessing, save a full snapshot (dataset+config+state+index) to this .snap file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *dataPath == "" {
-		return fmt.Errorf("-data is required")
-	}
-	ds, err := dataio.LoadFile(*dataPath)
-	if err != nil {
-		return err
-	}
-	if *normalize {
-		norm, _ := ds.MinMaxNormalize()
-		if ds.Columns() != nil {
-			if err := norm.SetColumns(ds.Columns()); err != nil {
-				return err
-			}
-		}
-		ds = norm
-	}
-
-	cfg := core.Config{K: *k, T: *tAbs, TQuantile: *tq, SampleSize: *samples, Seed: *seed}
-	if *loadState != "" && cfg.T == 0 && cfg.TQuantile == 0 {
-		// The loaded state supplies the real threshold; satisfy config
-		// validation with a placeholder.
-		cfg.T = 1
-	}
-	cfg.ClampSampleSize(ds.N())
-	cfg.Backend, err = core.ParseBackend(*backend)
-	if err != nil {
-		return err
-	}
-	cfg.Policy, err = core.ParsePolicy(*policy)
-	if err != nil {
-		return err
-	}
-	cfg.Shards = *shards
-	cfg.Partitioner, err = shard.ParsePartitioner(*partition)
-	if err != nil {
-		return err
-	}
-
-	m, err := core.NewMiner(ds, cfg)
-	if err != nil {
-		return err
-	}
-	if *loadState != "" {
-		if err := m.LoadStateFile(*loadState); err != nil {
+	var m *core.Miner
+	var ds *vector.Dataset
+	var cfg core.Config
+	switch {
+	case *dataPath != "" && *loadSnap != "":
+		return fmt.Errorf("use either -data or -load, not both")
+	case *dataPath == "" && *loadSnap == "":
+		return fmt.Errorf("-data (CSV) or -load (snapshot) is required")
+	case *loadSnap != "":
+		snap, err := dataio.LoadSnapshot(*loadSnap)
+		if err != nil {
 			return err
 		}
-	} else if err := m.Preprocess(); err != nil {
-		return err
+		if snap.HasState() {
+			// Full snapshot: it fixes threshold, priors, config and index;
+			// flags that would re-derive them are conflicts, the rest are
+			// superseded by the snapshot's own configuration.
+			if *tAbs != 0 || *tq != 0 || *samples != 0 {
+				return fmt.Errorf("-load of a full snapshot conflicts with -t/-tq/-samples (the snapshot supplies threshold and priors)")
+			}
+			if *normalize {
+				return fmt.Errorf("-load conflicts with -normalize (the snapshot holds the dataset exactly as captured)")
+			}
+			if *loadState != "" {
+				return fmt.Errorf("-load conflicts with -load-state (the snapshot already carries the state)")
+			}
+			if m, err = snap.Restore(); err != nil {
+				return err
+			}
+			ds, cfg = snap.Dataset, snap.Config
+			fmt.Fprintf(stderr, "restored snapshot %s (no index build, no learning)\n", *loadSnap)
+		} else {
+			// Dataset-only snapshot: the data rides in, flags configure
+			// the miner exactly as with -data.
+			ds = snap.Dataset
+		}
+	default:
+		var err error
+		if ds, err = dataio.LoadFile(*dataPath); err != nil {
+			return err
+		}
+	}
+	var normRanges []snapshot.ColumnRange
+	if m == nil {
+		if *normalize {
+			norm, stats := ds.MinMaxNormalize()
+			if ds.Columns() != nil {
+				if err := norm.SetColumns(ds.Columns()); err != nil {
+					return err
+				}
+			}
+			ds = norm
+			// Keep the raw ranges: a -save of this run must let a
+			// restoring server rebuild the ad-hoc-point transform.
+			normRanges = make([]snapshot.ColumnRange, len(stats))
+			for j, st := range stats {
+				normRanges[j] = snapshot.ColumnRange{Min: st.Min, Max: st.Max}
+			}
+		}
+
+		var err error
+		cfg = core.Config{K: *k, T: *tAbs, TQuantile: *tq, SampleSize: *samples, Seed: *seed}
+		if *loadState != "" && cfg.T == 0 && cfg.TQuantile == 0 {
+			// The loaded state supplies the real threshold; satisfy config
+			// validation with a placeholder.
+			cfg.T = 1
+		}
+		cfg.ClampSampleSize(ds.N())
+		cfg.Backend, err = core.ParseBackend(*backend)
+		if err != nil {
+			return err
+		}
+		cfg.Policy, err = core.ParsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		cfg.Shards = *shards
+		cfg.Partitioner, err = shard.ParsePartitioner(*partition)
+		if err != nil {
+			return err
+		}
+
+		if m, err = core.NewMiner(ds, cfg); err != nil {
+			return err
+		}
+		if *loadState != "" {
+			if err := m.LoadStateFile(*loadState); err != nil {
+				return err
+			}
+		} else if err := m.Preprocess(); err != nil {
+			return err
+		}
 	}
 	if *saveState != "" {
 		if err := m.SaveStateFile(*saveState); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "saved state to %s\n", *saveState)
+	}
+	if *saveSnap != "" {
+		name := strings.TrimSuffix(filepath.Base(*saveSnap), ".snap")
+		prov := snapshot.Provenance{
+			Source: *dataPath, Seed: *seed, Normalized: *normalize,
+			CreatedUnix: time.Now().Unix(),
+		}
+		if *loadSnap != "" {
+			prov.Source = *loadSnap
+		}
+		snap, err := snapshot.Capture(name, prov, m)
+		if err != nil {
+			return err
+		}
+		snap.NormStats = normRanges
+		if err := dataio.SaveSnapshot(*saveSnap, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "saved snapshot to %s\n", *saveSnap)
 	}
 	fmt.Fprintf(stdout, "dataset: %d points x %d dims; T = %.4g; backend = %s\n",
 		ds.N(), ds.Dim(), m.Threshold(), cfg.Backend)
@@ -154,6 +224,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var res *core.QueryResult
+	var err error
 	switch {
 	case *index >= 0 && *pointStr != "":
 		return fmt.Errorf("use either -index or -point, not both")

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/dataio"
+	"repro/internal/snapshot"
 )
 
 // writeFixture generates a small planted dataset CSV and returns its
@@ -243,5 +244,87 @@ func TestRunBatchBadIndex(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-batch", "0,x"}, &out, &errBuf); err == nil {
 		t.Fatal("malformed -batch accepted")
+	}
+}
+
+// TestRunSnapshotSaveAndLoad: -save captures a full snapshot, -load
+// restores it (no -t/-tq needed) and answers identically; conflicting
+// flags and dataset-only snapshots behave as documented.
+func TestRunSnapshotSaveAndLoad(t *testing.T) {
+	path := writeFixture(t)
+	snapPath := filepath.Join(t.TempDir(), "mined.snap")
+	var out1, errBuf bytes.Buffer
+	err := run([]string{"-data", path, "-k", "4", "-tq", "0.95", "-samples", "8",
+		"-backend", "xtree", "-index", "0", "-save", snapPath}, &out1, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "saved snapshot") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+
+	// Warm load: no threshold flags, no -data; identical stdout.
+	var out2, errBuf2 bytes.Buffer
+	if err := run([]string{"-load", snapPath, "-index", "0"}, &out2, &errBuf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf2.String(), "restored snapshot") {
+		t.Fatalf("stderr: %s", errBuf2.String())
+	}
+	// Identical answers; the learning-stats line is legitimately absent
+	// on the warm path (learning never re-runs), so compare from the
+	// results onward.
+	pick := func(s string) string {
+		idx := strings.Index(s, "minimal outlying")
+		if idx < 0 {
+			t.Fatalf("no results in output:\n%s", s)
+		}
+		return s[idx:]
+	}
+	if pick(out1.String()) != pick(out2.String()) {
+		t.Fatalf("snapshot round trip changed answers:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+
+	// Conflicts.
+	for _, extra := range [][]string{{"-tq", "0.9"}, {"-t", "5"}, {"-samples", "4"}, {"-normalize"}, {"-data", path}} {
+		args := append([]string{"-load", snapPath, "-index", "0"}, extra...)
+		var o, e bytes.Buffer
+		if err := run(args, &o, &e); err == nil {
+			t.Fatalf("flags %v accepted alongside -load of a full snapshot", extra)
+		}
+	}
+	// Missing and corrupt files fail cleanly.
+	var o, e bytes.Buffer
+	if err := run([]string{"-load", filepath.Join(t.TempDir(), "no.snap"), "-index", "0"}, &o, &e); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}
+
+// TestRunDatasetOnlySnapshot: a hosgen-style dataset-only snapshot
+// loads like a CSV — miner flags apply — and answers exactly as the
+// same data loaded from CSV.
+func TestRunDatasetOnlySnapshot(t *testing.T) {
+	csvPath := writeFixture(t)
+	ds, err := dataio.LoadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := snapshot.FromDataset("fixture", snapshot.Provenance{Source: csvPath}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "fixture.snap")
+	if err := dataio.SaveSnapshot(snapPath, s); err != nil {
+		t.Fatal(err)
+	}
+	var fromCSV, fromSnap, errBuf bytes.Buffer
+	if err := run([]string{"-data", csvPath, "-k", "4", "-tq", "0.95", "-index", "2"}, &fromCSV, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", snapPath, "-k", "4", "-tq", "0.95", "-index", "2"}, &fromSnap, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV.String() != fromSnap.String() {
+		t.Fatalf("dataset-only snapshot answers differently:\n%s\nvs\n%s", fromCSV.String(), fromSnap.String())
 	}
 }

@@ -9,6 +9,8 @@
 //	hosserve -gen synthetic -n 2000 -d 8 -k 5 -tq 0.95
 //	hosserve -gen synthetic -n 20000 -d 8 -k 5 -tq 0.95 -shards 4
 //	hosserve -gen nba -n 500 -k 6 -tq 0.97 -load-state state.json
+//	hosserve -gen synthetic -n 20000 -d 8 -k 5 -tq 0.95 -data-dir ./snaps
+//	hosserve -data-dir ./snaps   # warm restart: default.snap + background warm start
 //
 // The startup dataset becomes the registry's "default" entry; more
 // datasets can be loaded and evicted at runtime. Endpoints (see
@@ -20,8 +22,11 @@
 //	GET  /jobs/{id}      poll job status/progress; DELETE cancels
 //	POST /batch          {"items": [...]}, optional "dataset"
 //	GET  /datasets       registry listing with shard topology
-//	POST /datasets/load  generate + preprocess + register a dataset
+//	POST /datasets/load  generate (or load from a -data-dir snapshot)
+//	                     + preprocess + register a dataset
 //	POST /datasets/evict drop a loaded dataset
+//	POST /datasets/{name}/save
+//	                     persist an entry to <data-dir>/<name>.snap
 //	GET  /state          export preprocessed state (?dataset=name)
 //	GET  /healthz        liveness + default dataset summary
 //	GET  /stats          query counts, cache hits, latency percentiles,
@@ -43,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -51,6 +57,7 @@ import (
 	"repro/internal/dataio"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 	"repro/internal/vector"
 )
 
@@ -75,8 +82,14 @@ type cliConfig struct {
 	miner     core.Config
 	loadState string
 	saveState string
+	dataDir   string
 	debug     bool
 	jobDrain  time.Duration
+
+	// explicit records which flags the operator actually set (not
+	// defaults), so the snapshot-restore path can reject flags it
+	// would otherwise silently ignore.
+	explicit map[string]bool
 
 	srv server.Options
 }
@@ -142,6 +155,7 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.StringVar(&policy, "policy", "tsf", "search order: tsf|bottomup|topdown|random")
 	fs.StringVar(&cc.loadState, "load-state", "", "import preprocessed state (threshold+priors) from this JSON file, skipping learning")
 	fs.StringVar(&cc.saveState, "save-state", "", "after preprocessing, save state to this JSON file")
+	fs.StringVar(&cc.dataDir, "data-dir", "", "snapshot directory: warm-start every *.snap in it at boot (background jobs), enable POST /datasets/{name}/save and file loads; with no -data/-gen, serve default.snap from it as the default dataset")
 	fs.IntVar(&cc.srv.CacheSize, "cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
 	fs.DurationVar(&cc.srv.QueryTimeout, "query-timeout", 0, "per-query deadline (default 10s)")
 	fs.DurationVar(&cc.srv.ScanTimeout, "scan-timeout", 0, "per-scan deadline (default 2m)")
@@ -159,6 +173,8 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	cc.explicit = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { cc.explicit[f.Name] = true })
 	var err error
 	if cc.miner.Backend, err = core.ParseBackend(backend); err != nil {
 		return nil, err
@@ -172,13 +188,27 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	return &cc, nil
 }
 
-// setup loads or generates the dataset, builds and preprocesses the
-// miner (or imports state), and wraps it in a server; stderr receives
-// debug-level serving events under -debug.
+// setup loads or generates the dataset (or restores it from a
+// snapshot), builds and preprocesses the miner (or imports state),
+// wraps it in a server and warm-starts any remaining snapshots in
+// -data-dir; stderr receives debug-level serving events under -debug.
 func setup(cc *cliConfig, stderr io.Writer) (*server.Server, *vector.Dataset, *core.Miner, error) {
+	cc.srv.DataDir = cc.dataDir
+	// With no dataset source but a data dir holding default.snap, the
+	// default dataset itself comes back from disk: the lossless-restart
+	// path, no regeneration, no re-indexing, no re-learning.
+	if cc.dataPath == "" && cc.gen == "" && cc.dataDir != "" {
+		if _, err := os.Stat(filepath.Join(cc.dataDir, server.DefaultDatasetName+".snap")); err == nil {
+			return setupFromSnapshot(cc, stderr)
+		}
+	}
 	ds, err := loadDataset(cc)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	cc.srv.Provenance = snapshot.Provenance{
+		Generator: cc.gen, Seed: cc.miner.Seed, Source: cc.dataPath,
+		Normalized: cc.normalize, CreatedUnix: time.Now().Unix(),
 	}
 	if cc.normalize {
 		norm, stats := ds.MinMaxNormalize()
@@ -199,6 +229,12 @@ func setup(cc *cliConfig, stderr io.Writer) (*server.Server, *vector.Dataset, *c
 				}
 			}
 			return out
+		}
+		// And record the raw ranges so a snapshot of this dataset can
+		// rebuild the same transform after a restart.
+		cc.srv.NormStats = make([]snapshot.ColumnRange, len(stats))
+		for j, st := range stats {
+			cc.srv.NormStats[j] = snapshot.ColumnRange{Min: st.Min, Max: st.Max}
 		}
 	}
 	cfg := cc.miner
@@ -232,7 +268,90 @@ func setup(cc *cliConfig, stderr io.Writer) (*server.Server, *vector.Dataset, *c
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if err := warmStart(srv, cc, stderr); err != nil {
+		return nil, nil, nil, err
+	}
 	return srv, ds, m, nil
+}
+
+// setupFromSnapshot restores the default dataset wholesale from
+// <data-dir>/default.snap: dataset bytes, miner configuration,
+// threshold, priors and the serialized index all come from the file,
+// so flags that would re-derive any of them are conflicts.
+func setupFromSnapshot(cc *cliConfig, stderr io.Writer) (*server.Server, *vector.Dataset, *core.Miner, error) {
+	// Every flag the snapshot supersedes is a hard conflict when set
+	// explicitly — silently ignoring an operator's -k or -shards would
+	// let them believe they reconfigured a service that is in fact
+	// serving the snapshot's original topology.
+	for _, name := range []string{"t", "tq", "samples", "k", "seed", "shards", "backend", "policy", "partitioner",
+		"n", "d", "outliers", "deviants", "normalize", "load-state"} {
+		if cc.explicit[name] {
+			return nil, nil, nil, fmt.Errorf("-%s conflicts with restoring from %s/default.snap (the snapshot supplies the dataset and miner configuration; use -gen/-data to build fresh instead)", name, cc.dataDir)
+		}
+	}
+	path := filepath.Join(cc.dataDir, server.DefaultDatasetName+".snap")
+	snap, err := dataio.LoadSnapshot(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !snap.HasState() {
+		return nil, nil, nil, fmt.Errorf("%s is a dataset-only snapshot; serve it with -data/-gen parameters or re-save it from a running hosserve", path)
+	}
+	m, err := snap.Restore()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fmt.Fprintf(stderr, "restored default dataset from %s (no regeneration)\n", path)
+	cc.srv.Provenance = snap.Provenance
+	// A normalized snapshot carries its raw column ranges; rebuild the
+	// ad-hoc-point transform from them so raw-unit client vectors keep
+	// being rescaled exactly as before the restart.
+	if norm := snap.NormStats; len(norm) > 0 {
+		cc.srv.NormStats = norm
+		cc.srv.PointTransform = func(p []float64) []float64 {
+			out := make([]float64, len(p))
+			for j, v := range p {
+				if j < len(norm) {
+					if span := norm[j].Max - norm[j].Min; span > 0 {
+						out[j] = (v - norm[j].Min) / span
+					}
+				}
+			}
+			return out
+		}
+	}
+	if cc.debug {
+		cc.srv.Logf = log.New(stderr, "", log.LstdFlags).Printf
+	}
+	srv, err := server.New(m, cc.srv)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := warmStart(srv, cc, stderr); err != nil {
+		return nil, nil, nil, err
+	}
+	return srv, snap.Dataset, m, nil
+}
+
+// warmStart registers the data dir's remaining snapshots as
+// background jobs (no-op without -data-dir). A warm-start problem —
+// an unreadable directory, a job queue too shallow for the snapshot
+// count — degrades to partial warm start with a warning, never a
+// failed boot: the already-registered datasets are serving and the
+// rest can be loaded by hand, which beats an outage every time a
+// stale file accumulates in the directory.
+func warmStart(srv *server.Server, cc *cliConfig, stderr io.Writer) error {
+	if cc.dataDir == "" {
+		return nil
+	}
+	n, err := srv.WarmStart()
+	if err != nil {
+		fmt.Fprintf(stderr, "warning: partial warm start from %s (%d submitted): %v — load the rest via POST /datasets/load or raise -job-queue\n", cc.dataDir, n, err)
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "warm-starting %d snapshot(s) from %s in the background (progress: GET /jobs)\n", n, cc.dataDir)
+	}
+	return nil
 }
 
 func loadDataset(cc *cliConfig) (*vector.Dataset, error) {
@@ -245,7 +364,7 @@ func loadDataset(cc *cliConfig) (*vector.Dataset, error) {
 		ds, _, err := generate(cc)
 		return ds, err
 	default:
-		return nil, fmt.Errorf("provide a dataset: -data file.csv or -gen synthetic|uniform|athlete|medical|nba")
+		return nil, fmt.Errorf("provide a dataset: -data file.csv, -gen synthetic|uniform|athlete|medical|nba, or -data-dir with a default.snap")
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -351,5 +353,162 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "bye") {
 		t.Fatalf("missing shutdown message: %q", out.String())
+	}
+}
+
+// TestDataDirRestartServesSavedDatasets is the acceptance criterion
+// for warm-start serving: save the default and a loaded dataset into
+// -data-dir, "restart" (a second process over the same directory, no
+// -gen/-data), and the saved datasets answer without regeneration —
+// the default synchronously from default.snap, the named one via a
+// background warm-start job.
+func TestDataDirRestartServesSavedDatasets(t *testing.T) {
+	dir := t.TempDir()
+	h1 := setupFromArgs(t, "-gen", "synthetic", "-n", "130", "-d", "4",
+		"-k", "4", "-tq", "0.9", "-seed", "13", "-data-dir", dir)
+
+	// Load a second dataset at runtime, then persist both.
+	load := `{"name":"extra","gen":"synthetic","n":90,"d":3,"planted":2,"seed":5,"k":3,"tq":0.9}`
+	if rec := doReq(t, h1, "POST", "/datasets/load", load); rec.Code != http.StatusCreated {
+		t.Fatalf("load: %d (%s)", rec.Code, rec.Body.String())
+	}
+	for _, name := range []string{"default", "extra"} {
+		if rec := doReq(t, h1, "POST", "/datasets/"+name+"/save", ""); rec.Code != http.StatusOK {
+			t.Fatalf("save %s: %d (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+	wantDefault := doReq(t, h1, "POST", "/query", `{"index":7}`).Body.String()
+	wantExtra := doReq(t, h1, "POST", "/query", `{"dataset":"extra","index":3}`).Body.String()
+
+	// Restart: only -data-dir. No generator, no CSV, no thresholds.
+	h2 := setupFromArgs(t, "-data-dir", dir)
+	gotDefault := doReq(t, h2, "POST", "/query", `{"index":7}`).Body.String()
+	if zeroElapsed(gotDefault) != zeroElapsed(wantDefault) {
+		t.Fatalf("restored default answers differently:\n before: %s\n after:  %s", wantDefault, gotDefault)
+	}
+	// The extra dataset arrives via a warm-start job; poll for it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec := doReq(t, h2, "POST", "/query", `{"dataset":"extra","index":3}`)
+		if rec.Code == http.StatusOK {
+			if zeroElapsed(rec.Body.String()) != zeroElapsed(wantExtra) {
+				t.Fatalf("warm-started extra answers differently:\n before: %s\n after:  %s", wantExtra, rec.Body.String())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("extra dataset never warm-started: %d (%s)", rec.Code, rec.Body.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Conflicting flags with a default.snap present fail loudly.
+	var errBuf bytes.Buffer
+	cc, err := parseFlags([]string{"-data-dir", dir, "-tq", "0.9"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := setup(cc, &errBuf); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("conflicting -tq with default.snap: err = %v", err)
+	}
+}
+
+// doReq is do() without the JSON decode, for raw-body comparisons.
+func doReq(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// zeroElapsed blanks elapsed_ms timings for byte comparison.
+var elapsedMsRe = regexp.MustCompile(`"elapsed_ms":[0-9.eE+-]+`)
+
+func zeroElapsed(s string) string {
+	return elapsedMsRe.ReplaceAllString(s, `"elapsed_ms":0`)
+}
+
+// TestNormalizedSnapshotKeepsPointTransform is the regression test
+// for losing the ad-hoc-point rescaling across a snapshot restart: a
+// -normalize server saves raw column ranges into default.snap, and
+// the restored server must rescale raw-unit client vectors exactly as
+// the original did (without stats a raw point would look maximally
+// distant from the [0,1]-scaled data and answer differently).
+func TestNormalizedSnapshotKeepsPointTransform(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeFixture(t)
+	h1 := setupFromArgs(t, "-data", csvPath, "-normalize", "-k", "4", "-tq", "0.9", "-data-dir", dir)
+	if rec := doReq(t, h1, "POST", "/datasets/default/save", ""); rec.Code != http.StatusOK {
+		t.Fatalf("save: %d (%s)", rec.Code, rec.Body.String())
+	}
+	// A raw-unit point (the fixture is N(≈cluster centers, σ) data far
+	// outside [0,1]); the transform decides its entire answer.
+	probe := `{"point": [40, -3, 17, 8]}`
+	want := doReq(t, h1, "POST", "/query", probe).Body.String()
+
+	h2 := setupFromArgs(t, "-data-dir", dir)
+	got := doReq(t, h2, "POST", "/query", probe).Body.String()
+	if zeroElapsed(got) != zeroElapsed(want) {
+		t.Fatalf("restored server answers the raw point differently (transform lost):\n before: %s\n after:  %s", want, got)
+	}
+}
+
+// TestSnapshotRestoreRejectsSupersededFlags: every flag the snapshot
+// supplies is a hard conflict when set explicitly — including the
+// ones whose values coincide with flag defaults.
+func TestSnapshotRestoreRejectsSupersededFlags(t *testing.T) {
+	dir := t.TempDir()
+	h1 := setupFromArgs(t, "-gen", "synthetic", "-n", "80", "-d", "3", "-k", "3", "-tq", "0.9", "-data-dir", dir)
+	if rec := doReq(t, h1, "POST", "/datasets/default/save", ""); rec.Code != http.StatusOK {
+		t.Fatalf("save: %d", rec.Code)
+	}
+	for _, extra := range [][]string{
+		{"-k", "5"}, {"-shards", "4"}, {"-backend", "auto"}, {"-policy", "tsf"},
+		{"-seed", "1"}, {"-normalize"}, {"-tq", "0.9"},
+	} {
+		var errBuf bytes.Buffer
+		cc, err := parseFlags(append([]string{"-data-dir", dir}, extra...), &errBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := setup(cc, &errBuf); err == nil || !strings.Contains(err.Error(), "conflicts") {
+			t.Fatalf("flags %v silently accepted on snapshot restore: err = %v", extra, err)
+		}
+	}
+}
+
+// TestWarmStartRegistersUnderFileStem: a renamed snapshot file serves
+// under its stem, not its stored internal name — skip-check and
+// registration share one key, so renames cannot cause permanently
+// failing jobs on every boot.
+func TestWarmStartRegistersUnderFileStem(t *testing.T) {
+	dir := t.TempDir()
+	h1 := setupFromArgs(t, "-gen", "synthetic", "-n", "80", "-d", "3", "-k", "3", "-tq", "0.9", "-data-dir", dir)
+	load := `{"name":"orig","gen":"synthetic","n":70,"d":3,"planted":2,"seed":4,"k":3,"tq":0.9}`
+	if rec := doReq(t, h1, "POST", "/datasets/load", load); rec.Code != http.StatusCreated {
+		t.Fatalf("load: %d", rec.Code)
+	}
+	if rec := doReq(t, h1, "POST", "/datasets/orig/save", ""); rec.Code != http.StatusOK {
+		t.Fatalf("save: %d", rec.Code)
+	}
+	// Rename the file; its internal Name stays "orig".
+	if err := os.Rename(filepath.Join(dir, "orig.snap"), filepath.Join(dir, "renamed.snap")); err != nil {
+		t.Fatal(err)
+	}
+	h2 := setupFromArgs(t, "-gen", "synthetic", "-n", "80", "-d", "3", "-k", "3", "-tq", "0.9", "-data-dir", dir)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if rec := doReq(t, h2, "POST", "/query", `{"dataset":"renamed","index":1}`); rec.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("renamed snapshot never served under its stem")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// And the stored name did NOT get registered.
+	if rec := doReq(t, h2, "POST", "/query", `{"dataset":"orig","index":1}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("stored name registered despite rename: %d", rec.Code)
 	}
 }

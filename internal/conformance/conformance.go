@@ -15,13 +15,16 @@
 package conformance
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 	"repro/internal/subspace"
 	"repro/internal/vector"
 )
@@ -114,6 +117,47 @@ func (sp Spec) ShardedMiner(backend core.Backend, policy core.Policy, shards int
 		return nil, err
 	}
 	return m, nil
+}
+
+// RestoredMiner builds the spec's miner, pushes it through a full
+// snapshot round trip — capture, binary encode, decode, restore — and
+// returns the warm-started twin. Everything travels through the real
+// on-disk byte format, so any field the codec mangles shows up as a
+// divergence downstream.
+func (sp Spec) RestoredMiner(backend core.Backend, policy core.Policy, shards int, part shard.Partitioner) (*core.Miner, error) {
+	m, err := sp.ShardedMiner(backend, policy, shards, part)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := snapshot.Capture(sp.Name, snapshot.Provenance{Generator: "synthetic", Seed: sp.Gen.Seed}, m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, snap); err != nil {
+		return nil, err
+	}
+	back, err := snapshot.Read(&buf)
+	if err != nil {
+		return nil, err
+	}
+	return back.Restore()
+}
+
+// ScanFingerprints runs the whole-dataset scan (the /scan operation)
+// and renders every hit — index, minimal set, outlying count, severity
+// — as one canonical string per hit.
+func ScanFingerprints(m *core.Miner, workers int) ([]string, error) {
+	hits, err := m.ScanAllParallelContext(context.Background(), core.ScanOptions{SortBySeverity: true}, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = fmt.Sprintf("#%d|%s|%d|%x", h.Index, Fingerprint(h.Minimal), h.OutlyingCount,
+			math.Float64bits(h.FullSpaceOD))
+	}
+	return out, nil
 }
 
 // Fingerprint renders a subspace set in its canonical byte form:

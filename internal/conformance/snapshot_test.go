@@ -1,0 +1,114 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// snapshotWidths are the engine widths the snapshot differential
+// crosses: unsharded (0), a one-shard scatter-gather engine (1), and
+// a prime width with unevenly sized shards (7) — the acceptance
+// criterion's pair plus the degenerate plumbing case.
+func snapshotWidths() []int { return []int{0, 1, 7} }
+
+// TestSnapshotRestoredMatchesFresh is the warm-start conformance
+// spec: for both k-NN backends and every snapshot width, a miner
+// restored from the binary snapshot format must answer the /query,
+// /scan and /batch operations byte-identically to the freshly
+// generated and freshly indexed miner it was captured from.
+func TestSnapshotRestoredMatchesFresh(t *testing.T) {
+	specs := DefaultSpecs()[:3] // spans threshold styles and the learning phase
+	for _, sp := range specs {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range Backends() {
+				for _, width := range snapshotWidths() {
+					name := fmt.Sprintf("%v/width=%d", backend, width)
+					fresh, err := sp.ShardedMiner(backend, core.PolicyTSF, width, shard.RoundRobin)
+					if err != nil {
+						t.Fatal(err)
+					}
+					warm, err := sp.RestoredMiner(backend, core.PolicyTSF, width, shard.RoundRobin)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if warm.Threshold() != fresh.Threshold() {
+						t.Fatalf("%s: thresholds diverge: %v vs %v", name, warm.Threshold(), fresh.Threshold())
+					}
+					if warm.NumShards() != fresh.NumShards() {
+						t.Fatalf("%s: widths diverge: %d vs %d", name, warm.NumShards(), fresh.NumShards())
+					}
+
+					// /query: every point's minimal outlying subspaces.
+					want, err := MinimalFingerprints(fresh)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := MinimalFingerprints(warm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := Diff("fresh", want, "restored", got); d != "" {
+						t.Fatalf("%s: query path diverged:\n%s", name, d)
+					}
+
+					// /scan: full sweep with severity ranking, including the
+					// exact OD bits.
+					wantScan, err := ScanFingerprints(fresh, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotScan, err := ScanFingerprints(warm, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := Diff("fresh-scan", wantScan, "restored-scan", gotScan); d != "" {
+						t.Fatalf("%s: scan path diverged:\n%s", name, d)
+					}
+
+					// /batch: the batched execution path over the restored
+					// engine.
+					gotBatch, err := BatchMinimalFingerprints(warm, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := Diff("fresh", want, "restored-batch", gotBatch); d != "" {
+						t.Fatalf("%s: batch path diverged:\n%s", name, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoredAcrossPartitioners covers the hash partitioner
+// arm: a snapshot of a hash-partitioned engine restores to the same
+// topology and the same answers.
+func TestSnapshotRestoredAcrossPartitioners(t *testing.T) {
+	sp := DefaultSpecs()[1] // includes the learning phase
+	for _, part := range Partitioners() {
+		fresh, err := sp.ShardedMiner(core.BackendXTree, core.PolicyTSF, 7, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := sp.RestoredMiner(core.BackendXTree, core.PolicyTSF, 7, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MinimalFingerprints(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MinimalFingerprints(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := Diff("fresh", want, fmt.Sprintf("restored-%v", part), got); d != "" {
+			t.Fatalf("partitioner %v: restored engine diverged:\n%s", part, d)
+		}
+	}
+}

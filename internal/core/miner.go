@@ -97,6 +97,16 @@ type Config struct {
 	Partitioner shard.Partitioner
 }
 
+// Validate checks the configuration against a dataset — the same
+// checks NewMiner runs, exported so serialization layers can vet a
+// deserialized Config before building anything from it.
+func (c Config) Validate(ds *vector.Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("core: nil dataset")
+	}
+	return c.validate(ds)
+}
+
 func (c *Config) validate(ds *vector.Dataset) error {
 	if c.K < 1 {
 		return fmt.Errorf("core: K = %d, need ≥ 1", c.K)
@@ -231,6 +241,12 @@ func NewMiner(ds *vector.Dataset, cfg Config) (*Miner, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newMinerWith(ds, cfg, eval, searcher, tree, engine), nil
+}
+
+// newMinerWith assembles a Miner from already-constructed components —
+// the shared tail of NewMiner and NewMinerWithIndex.
+func newMinerWith(ds *vector.Dataset, cfg Config, eval *od.Evaluator, searcher knn.Searcher, tree *xtree.Tree, engine *shard.Engine) *Miner {
 	return &Miner{
 		cfg:    cfg,
 		ds:     ds,
@@ -240,7 +256,7 @@ func NewMiner(ds *vector.Dataset, cfg Config) (*Miner, error) {
 		shards: engine,
 		priors: UniformPriors(ds.Dim()),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
 }
 
 // workerEvaluator builds an independent OD evaluator for one worker

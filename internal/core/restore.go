@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/knn"
+	"repro/internal/od"
+	"repro/internal/shard"
+	"repro/internal/subspace"
+	"repro/internal/vector"
+	"repro/internal/xtree"
+)
+
+// IndexSnapshot is the serialized k-NN index of a Miner: the encoded
+// X-tree bytes a warm restart hands back to NewMinerWithIndex so it
+// can skip the index build. Exactly one of the layouts is populated
+// for tree-backed configurations; a linear-scan miner has neither
+// (there is nothing to persist — the dataset is the index).
+type IndexSnapshot struct {
+	// Tree is the xtree.Encode form of a single-index miner's tree
+	// (nil when the miner scans linearly or is sharded).
+	Tree []byte
+	// ShardTrees is the per-shard encoded tree set of a sharded miner
+	// (nil when unsharded); entry s is nil for linear-scan shards.
+	// Present — possibly with every entry nil — whenever the miner is
+	// sharded, so the sharded/unsharded distinction survives encoding.
+	ShardTrees [][]byte
+}
+
+// ExportIndex serializes the miner's k-NN index for snapshotting.
+func (m *Miner) ExportIndex() (*IndexSnapshot, error) {
+	out := &IndexSnapshot{}
+	switch {
+	case m.shards != nil:
+		trees, err := m.shards.EncodedTrees()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		out.ShardTrees = trees
+	case m.tree != nil:
+		var buf bytes.Buffer
+		if err := m.tree.Encode(&buf); err != nil {
+			return nil, fmt.Errorf("core: encoding index: %w", err)
+		}
+		out.Tree = buf.Bytes()
+	}
+	return out, nil
+}
+
+// NewMinerWithIndex is NewMiner with a warm-started index: where the
+// configuration calls for an X-tree (single or per-shard), the
+// supplied encoded trees are decoded and validated instead of built
+// from scratch — the snapshot-restore path. The index shape must
+// match what cfg would build: bytes for an index the configuration
+// does not use, or a missing tree for one it does, fail loudly rather
+// than silently rebuilding, because a shape mismatch means the
+// snapshot does not describe this configuration. A nil idx is
+// identical to NewMiner.
+func NewMinerWithIndex(ds *vector.Dataset, cfg Config, idx *IndexSnapshot) (*Miner, error) {
+	if idx == nil || (idx.Tree == nil && idx.ShardTrees == nil) {
+		return NewMiner(ds, cfg)
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if ds.Dim() < 1 || ds.Dim() > subspace.MaxDim {
+		return nil, fmt.Errorf("core: dimensionality %d out of [1,%d]", ds.Dim(), subspace.MaxDim)
+	}
+	if err := cfg.validate(ds); err != nil {
+		return nil, err
+	}
+
+	var searcher knn.Searcher
+	var tree *xtree.Tree
+	var engine *shard.Engine
+	sharded := cfg.Shards >= 1
+	useXTree := !sharded && (cfg.Backend == BackendXTree ||
+		(cfg.Backend == BackendAuto && ds.N() >= autoXTreeThreshold))
+	switch {
+	case sharded != (idx.ShardTrees != nil):
+		return nil, fmt.Errorf("core: index snapshot shape mismatch (config sharded: %v)", sharded)
+	case sharded:
+		e, err := shard.NewEngineFromEncoded(ds, shard.Config{
+			Shards:      cfg.Shards,
+			Partitioner: cfg.Partitioner,
+			Metric:      cfg.Metric,
+			Index:       cfg.Backend.shardIndexKind(),
+		}, idx.ShardTrees)
+		if err != nil {
+			return nil, err
+		}
+		engine = e
+		s, err := e.NewSearcher()
+		if err != nil {
+			return nil, err
+		}
+		searcher = s
+	case useXTree != (idx.Tree != nil):
+		return nil, fmt.Errorf("core: index snapshot shape mismatch (config wants a tree: %v)", useXTree)
+	default: // single-index tree, bytes present
+		t, err := xtree.Decode(bytes.NewReader(idx.Tree), ds)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if t.Metric() != cfg.Metric {
+			return nil, fmt.Errorf("core: index tree metric %v, config uses %v", t.Metric(), cfg.Metric)
+		}
+		tree = t
+		searcher = xtree.NewSearcher(t)
+	}
+
+	eval, err := od.NewEvaluator(ds, searcher, cfg.Metric, cfg.K, od.NormNone)
+	if err != nil {
+		return nil, err
+	}
+	return newMinerWith(ds, cfg, eval, searcher, tree, engine), nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/shard"
+)
+
+// restoreRoundTrip builds a fresh preprocessed miner, exports its
+// index and state, reconstructs via NewMinerWithIndex + ImportState,
+// and asserts identical answers for every dataset point.
+func restoreRoundTrip(t *testing.T, n int, cfg Config) {
+	t.Helper()
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{N: n, D: 4, NumOutliers: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewMiner(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Preprocess(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := fresh.ExportIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := fresh.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewMinerWithIndex(ds, cfg, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Threshold() != fresh.Threshold() {
+		t.Fatalf("thresholds diverge: %v vs %v", warm.Threshold(), fresh.Threshold())
+	}
+	for i := 0; i < ds.N(); i++ {
+		a, err := fresh.OutlyingSubspacesOfPoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := warm.OutlyingSubspacesOfPoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Minimal) != len(b.Minimal) {
+			t.Fatalf("point %d: minimal sets diverge (%v vs %v)", i, a.Minimal, b.Minimal)
+		}
+		for j := range a.Minimal {
+			if a.Minimal[j] != b.Minimal[j] {
+				t.Fatalf("point %d: minimal[%d] %v vs %v", i, j, a.Minimal[j], b.Minimal[j])
+			}
+		}
+	}
+}
+
+func TestRestoreSingleXTree(t *testing.T) {
+	restoreRoundTrip(t, 180, Config{K: 4, TQuantile: 0.9, Seed: 1, Backend: BackendXTree})
+}
+
+func TestRestoreLinear(t *testing.T) {
+	restoreRoundTrip(t, 150, Config{K: 4, TQuantile: 0.9, Seed: 1, Backend: BackendLinear})
+}
+
+func TestRestoreSharded(t *testing.T) {
+	restoreRoundTrip(t, 160, Config{
+		K: 4, TQuantile: 0.9, Seed: 1,
+		Backend: BackendXTree, Shards: 3, Partitioner: shard.HashPoint,
+	})
+}
+
+func TestRestoreShapeMismatches(t *testing.T) {
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{N: 120, D: 4, NumOutliers: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeCfg := Config{K: 4, TQuantile: 0.9, Seed: 1, Backend: BackendXTree}
+	m, err := NewMiner(ds, treeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := m.ExportIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tree == nil || idx.ShardTrees != nil {
+		t.Fatalf("unexpected snapshot shape: %+v", idx)
+	}
+
+	// Single-index tree offered to a linear config.
+	linCfg := treeCfg
+	linCfg.Backend = BackendLinear
+	if _, err := NewMinerWithIndex(ds, linCfg, idx); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("linear config accepted a tree snapshot: %v", err)
+	}
+	// Single-index tree offered to a sharded config.
+	shCfg := treeCfg
+	shCfg.Shards = 2
+	if _, err := NewMinerWithIndex(ds, shCfg, idx); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("sharded config accepted a single-tree snapshot: %v", err)
+	}
+	// Sharded snapshot offered to an unsharded config.
+	sm, err := NewMiner(ds, shCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidx, err := sm.ExportIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sidx.ShardTrees == nil {
+		t.Fatalf("sharded snapshot missing shard trees: %+v", sidx)
+	}
+	if _, err := NewMinerWithIndex(ds, treeCfg, sidx); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("unsharded config accepted a sharded snapshot: %v", err)
+	}
+	// Corrupted tree bytes must be rejected.
+	bad := &IndexSnapshot{Tree: append([]byte(nil), idx.Tree...)}
+	bad.Tree[len(bad.Tree)/2] ^= 0xff
+	if _, err := NewMinerWithIndex(ds, treeCfg, bad); err == nil {
+		t.Fatal("corrupted tree bytes accepted")
+	}
+	// A nil snapshot behaves exactly like NewMiner.
+	plain, err := NewMinerWithIndex(ds, treeCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumShards() != 1 {
+		t.Fatalf("nil-snapshot miner shards = %d", plain.NumShards())
+	}
+}

@@ -33,6 +33,11 @@ type State struct {
 
 const stateVersion = 1
 
+// StateVersion is the current State format version — exported so
+// other serialization layers (internal/snapshot) can mint State
+// values ImportState will accept.
+const StateVersion = stateVersion
+
 // ExportState captures the preprocessed state. It fails if Preprocess
 // has not run yet.
 func (m *Miner) ExportState() (*State, error) {

@@ -5,19 +5,40 @@ package dataio
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 
 	"repro/internal/vector"
 )
 
+// ErrNonFinite rejects datasets containing NaN or ±Inf coordinates at
+// write time. Such values have no faithful CSV round-trip: Go formats
+// them as "NaN"/"+Inf", which a later ReadCSV either rejects outright
+// (so the written file is unloadable) or — for a first row — silently
+// misclassifies as a header, shearing a data row off the dataset.
+// Failing the write is the only honest option.
+var ErrNonFinite = errors.New("dataio: non-finite value")
+
 // WriteCSV writes the dataset to w. When header is true, column names
-// (or dimN defaults) form the first row.
+// (or dimN defaults) form the first row. Datasets with NaN or ±Inf
+// coordinates fail with an error wrapping ErrNonFinite before any
+// output is produced.
 func WriteCSV(w io.Writer, ds *vector.Dataset, header bool) error {
 	if ds == nil {
 		return fmt.Errorf("dataio: nil dataset")
+	}
+	// Vet the whole dataset before emitting a byte: a partial file
+	// that fails mid-write is worse than no file.
+	for i := 0; i < ds.N(); i++ {
+		for j, v := range ds.Point(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w %v at row %d col %d", ErrNonFinite, v, i+1, j+1)
+			}
+		}
 	}
 	cw := csv.NewWriter(w)
 	if header {
@@ -81,6 +102,13 @@ func ReadCSV(r io.Reader) (*vector.Dataset, error) {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataio: row %d col %d: %w", i+1, j+1, err)
+			}
+			// ParseFloat accepts "NaN"/"Inf" spellings; mining over them
+			// is undefined (every distance comparison involving NaN is
+			// false), so the read side enforces the same finiteness
+			// contract the write side does.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w %q at row %d col %d", ErrNonFinite, cell, i+1, j+1)
 			}
 			row[j] = v
 		}

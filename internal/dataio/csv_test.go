@@ -2,11 +2,13 @@ package dataio
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/snapshot"
 	"repro/internal/vector"
 )
 
@@ -102,5 +104,69 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(dir, "missing.csv")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestWriteCSVRejectsNonFinite is the regression test for the
+// NaN/±Inf round-trip hole: such values used to serialize into cells
+// that either failed a later ReadCSV outright or silently passed
+// allNumeric and sheared rows into headers. The write now fails with
+// ErrNonFinite before emitting anything, and the read side enforces
+// the same contract on external files.
+func TestWriteCSVRejectsNonFinite(t *testing.T) {
+	cases := map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	}
+	for name, v := range cases {
+		ds, _ := vector.FromRows([][]float64{{1, 2}, {v, 4}})
+		var buf bytes.Buffer
+		err := WriteCSV(&buf, ds, true)
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: err = %v, want ErrNonFinite", name, err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s: partial output emitted (%d bytes)", name, buf.Len())
+		}
+	}
+	// Read side: spelled-out non-finite cells are rejected, not parsed.
+	for _, in := range []string{"1,2\nNaN,4\n", "1,2\n+Inf,4\n", "a,b\n1,-Inf\n"} {
+		if _, err := ReadCSV(strings.NewReader(in)); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("ReadCSV(%q): err = %v, want ErrNonFinite", in, err)
+		}
+	}
+}
+
+// TestSnapshotFileRoundTrip covers the dataio snapshot wrappers: the
+// format details are internal/snapshot's, the path-level Save/Load
+// belongs beside SaveFile/LoadFile.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	ds, _ := vector.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err := ds.SetColumns([]string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := snapshot.FromDataset("pair", snapshot.Provenance{Source: "unit"}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pair.snap")
+	if err := SaveSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "pair" || back.Dataset.N() != 3 || back.Dataset.ColumnName(1) != "y" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// A CSV handed to LoadSnapshot is refused with the typed error.
+	csvPath := filepath.Join(t.TempDir(), "data.csv")
+	if err := SaveFile(csvPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(csvPath); !errors.Is(err, snapshot.ErrSnapshot) {
+		t.Fatalf("LoadSnapshot(csv): err = %v, want a typed snapshot error", err)
 	}
 }

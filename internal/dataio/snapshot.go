@@ -1,0 +1,24 @@
+package dataio
+
+import (
+	"repro/internal/snapshot"
+)
+
+// Snapshot I/O lives beside the CSV codecs so callers have one package
+// to reach for when moving datasets on and off disk: CSV for plain
+// data interchange with external tools, snapshots for the full
+// preprocessed serving state (dataset + provenance + miner config +
+// threshold/priors + serialized index). The format itself — layout,
+// checksums, typed errors — is internal/snapshot's.
+
+// SaveSnapshot writes s to path atomically. The conventional file
+// name is <name>.snap.
+func SaveSnapshot(path string, s *snapshot.Snapshot) error {
+	return snapshot.SaveFile(path, s)
+}
+
+// LoadSnapshot reads a snapshot file. Corrupt or truncated files fail
+// with errors matching snapshot.ErrSnapshot, never a panic.
+func LoadSnapshot(path string) (*snapshot.Snapshot, error) {
+	return snapshot.LoadFile(path)
+}

@@ -529,3 +529,42 @@ func TestStateStrings(t *testing.T) {
 		t.Fatal("Terminal misclassifies states")
 	}
 }
+
+// TestRetryAfterNeverBelowOneSecond: the estimate a 429 turns into a
+// Retry-After header must stay ≥ 1s in every regime — no history and
+// no backlog (a manager that has never run a job), no history with a
+// backlog, and history of near-zero run times. A zero estimate would
+// become "Retry-After: 0", a standing invitation to hammer the queue.
+func TestRetryAfterNeverBelowOneSecond(t *testing.T) {
+	m := NewManager(Options{QueueDepth: 1, Workers: 1})
+	if got := m.RetryAfter(); got < time.Second {
+		t.Fatalf("no history, no backlog: RetryAfter = %v, want ≥ 1s", got)
+	}
+	// Occupy the worker and the queue: still no run-time history.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := m.Submit("t", func(ctx context.Context, _ func(int, int)) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Submit("t", func(context.Context, func(int, int)) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.RetryAfter(); got < time.Second {
+		t.Fatalf("no history, backlog 2: RetryAfter = %v, want ≥ 1s", got)
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// History now exists and is microscopic; the floor must hold.
+	if got := m.RetryAfter(); got < time.Second {
+		t.Fatalf("tiny history: RetryAfter = %v, want ≥ 1s", got)
+	}
+}

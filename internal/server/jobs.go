@@ -151,6 +151,14 @@ func (s *Server) handleSubmitScanJob(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		retry := int(math.Ceil(s.jobs.RetryAfter().Seconds()))
+		// Belt and braces over the manager's own floor: whatever the
+		// estimator returns (it has no run-time history before the
+		// first job finishes), "Retry-After: 0" is never a sane header
+		// on a 429 — a literal client would hammer the full queue in a
+		// zero-delay loop.
+		if retry < 1 {
+			retry = 1
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		s.error(w, http.StatusTooManyRequests,
 			fmt.Sprintf("job queue full (%d queued), retry in ~%ds", s.opts.JobQueueDepth, retry))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 	"repro/internal/subspace"
 )
 
@@ -45,7 +47,32 @@ type dataset struct {
 	// whose owner may have normalized it at startup, carries one.
 	transform func([]float64) []float64
 	created   time.Time
+	// prov records where the dataset came from; it travels into
+	// snapshots written by POST /datasets/{name}/save.
+	prov snapshot.Provenance
+	// normStats is the raw per-column [Min,Max] behind transform when
+	// the dataset was min-max normalized (nil otherwise); it rides
+	// into snapshots so a restore can rebuild the transform.
+	normStats []snapshot.ColumnRange
 }
+
+// Typed registry failures. The HTTP layer maps these onto statuses —
+// 409 for conflicts, 404 for absences — and counts them apart from
+// server errors in /stats: an operator filling the registry or naming
+// a dataset that is not there is not a malfunctioning server, and the
+// old behaviour of folding everything into one generic error counter
+// (and, for registry-full, a generic error status) made capacity
+// pressure indistinguishable from breakage on a dashboard.
+var (
+	// ErrRegistryFull: no load slot left; evict something first.
+	ErrRegistryFull = errors.New("registry full")
+	// ErrDatasetExists: the name is already registered.
+	ErrDatasetExists = errors.New("dataset already loaded")
+	// ErrDatasetNotFound: the name matches no registered dataset.
+	ErrDatasetNotFound = errors.New("dataset not found")
+	// ErrNotEvictable: the default dataset cannot be evicted.
+	ErrNotEvictable = errors.New("dataset not evictable")
+)
 
 // registry is the named-dataset table. Reads (request routing) take
 // the read lock; load/evict take the write lock. The entries
@@ -98,10 +125,10 @@ func (r *registry) check(name string) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if _, ok := r.entries[name]; ok {
-		return fmt.Errorf("dataset %q already loaded", name)
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	if len(r.entries) >= r.max {
-		return fmt.Errorf("registry full (%d datasets); evict one first", r.max)
+		return fmt.Errorf("%w (%d datasets); evict one first", ErrRegistryFull, r.max)
 	}
 	return nil
 }
@@ -112,10 +139,10 @@ func (r *registry) add(d *dataset) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[d.name]; ok {
-		return fmt.Errorf("dataset %q already loaded", d.name)
+		return fmt.Errorf("%w: %q", ErrDatasetExists, d.name)
 	}
 	if len(r.entries) >= r.max {
-		return fmt.Errorf("registry full (%d datasets); evict one first", r.max)
+		return fmt.Errorf("%w (%d datasets); evict one first", ErrRegistryFull, r.max)
 	}
 	r.entries[d.name] = d
 	return nil
@@ -126,12 +153,12 @@ func (r *registry) add(d *dataset) error {
 // request that names none.
 func (r *registry) remove(name string) error {
 	if name == DefaultDatasetName {
-		return fmt.Errorf("dataset %q is not evictable", DefaultDatasetName)
+		return fmt.Errorf("%w: %q is the default dataset", ErrNotEvictable, DefaultDatasetName)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; !ok {
-		return fmt.Errorf("dataset %q not found", name)
+		return fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
 	}
 	delete(r.entries, name)
 	return nil
@@ -146,6 +173,14 @@ const DefaultDatasetName = "default"
 type loadRequest struct {
 	// Name registers the dataset (required; anything but "default").
 	Name string `json:"name"`
+	// File loads a snapshot file from the server's -data-dir instead
+	// of generating: a bare file name, resolved inside the data
+	// directory only. A full snapshot (hosserve save, hosminer -save)
+	// restores dataset, configuration, state and index wholesale — the
+	// request must then carry no miner parameters. A dataset-only
+	// snapshot (hosgen -save) supplies just the data; the request
+	// configures the miner exactly as a generated load does.
+	File string `json:"file,omitempty"`
 	// Gen selects the generator (datagen.ByName):
 	// synthetic|uniform|athlete|medical|nba.
 	Gen     string `json:"gen"`
@@ -205,22 +240,46 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// validDatasetName restricts registry names to path-safe spellings:
+// they become snapshot file stems under -data-dir, so separators,
+// leading dots and empty/oversized names are rejected at the door.
+func validDatasetName(name string) bool {
+	if name == "" || len(name) > 64 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if req.Name == "" || len(req.Name) > 64 {
-		s.error(w, http.StatusBadRequest, "dataset name must be 1-64 characters")
+	if !validDatasetName(req.Name) {
+		s.error(w, http.StatusBadRequest, "dataset name must be 1-64 characters from [a-zA-Z0-9._-], not starting with '.'")
 		return
 	}
 	if req.Name == DefaultDatasetName {
 		s.error(w, http.StatusBadRequest, fmt.Sprintf("name %q is reserved", DefaultDatasetName))
 		return
 	}
+	if req.File != "" && req.Gen != "" {
+		s.error(w, http.StatusBadRequest, "set either \"file\" or \"gen\", not both")
+		return
+	}
 	// Generating + preprocessing allocates N×D floats and runs the
 	// full threshold/learning pipeline inline; bound the size before
-	// spending anything.
+	// spending anything. (File loads re-check N after reading the
+	// snapshot, whose size is already bounded by the file itself.)
 	if req.N > s.opts.MaxLoadPoints {
 		s.error(w, http.StatusBadRequest,
 			fmt.Sprintf("n = %d exceeds the load limit %d", req.N, s.opts.MaxLoadPoints))
@@ -235,7 +294,7 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 	// build; reg.add re-checks under its lock, so a racing duplicate
 	// still loses there.
 	if err := s.reg.check(req.Name); err != nil {
-		s.error(w, http.StatusConflict, err.Error())
+		s.registryError(w, err)
 		return
 	}
 	// One build at a time: loads are operator actions, not traffic,
@@ -248,13 +307,19 @@ func (s *Server) handleLoadDataset(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusTooManyRequests, "another dataset load is in progress, retry later")
 		return
 	}
-	d, err := s.buildDataset(&req)
+	var d *dataset
+	var err error
+	if req.File != "" {
+		d, err = s.loadDatasetFromFile(&req)
+	} else {
+		d, err = s.buildDataset(&req)
+	}
 	if err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := s.reg.add(d); err != nil {
-		s.error(w, http.StatusConflict, err.Error())
+		s.registryError(w, err)
 		return
 	}
 	info := d.info()
@@ -271,11 +336,7 @@ func (s *Server) handleEvictDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.reg.remove(req.Name); err != nil {
-		status := http.StatusNotFound
-		if req.Name == DefaultDatasetName {
-			status = http.StatusBadRequest
-		}
-		s.error(w, status, err.Error())
+		s.registryError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"evicted": req.Name})
@@ -317,11 +378,12 @@ func (s *Server) buildDataset(req *loadRequest) (*dataset, error) {
 	if err := m.Preprocess(); err != nil {
 		return nil, err
 	}
-	return s.newDatasetEntry(req.Name, m, nil), nil
+	prov := snapshot.Provenance{Generator: req.Gen, Seed: req.Seed, CreatedUnix: time.Now().Unix()}
+	return s.newDatasetEntry(req.Name, m, nil, nil, prov), nil
 }
 
 // newDatasetEntry wraps a preprocessed miner in its serving state.
-func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]float64) []float64) *dataset {
+func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]float64) []float64, norm []snapshot.ColumnRange, prov snapshot.Provenance) *dataset {
 	return &dataset{
 		name:      name,
 		miner:     m,
@@ -329,6 +391,8 @@ func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]fl
 		cache:     newResultCache(s.opts.CacheSize),
 		transform: transform,
 		created:   time.Now(),
+		prov:      prov,
+		normStats: norm,
 	}
 }
 
@@ -386,7 +450,7 @@ func (d *dataset) stats() DatasetStats {
 func (s *Server) resolveDataset(w http.ResponseWriter, name string) (*dataset, bool) {
 	d, ok := s.reg.resolve(name)
 	if !ok {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("dataset %q not found (GET /datasets lists loaded ones)", name))
+		s.notFound(w, fmt.Sprintf("%s: %q (GET /datasets lists loaded ones)", ErrDatasetNotFound, name))
 		return nil, false
 	}
 	return d, true

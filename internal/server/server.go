@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/snapshot"
 	"repro/internal/subspace"
 )
 
@@ -118,6 +119,20 @@ type Options struct {
 	// jobs exist so scans longer than any request deadline still
 	// complete; this is only the runaway backstop.
 	JobTimeout time.Duration
+	// DataDir is the snapshot directory: POST /datasets/{name}/save
+	// writes <name>.snap here, the "file" field of /datasets/load
+	// resolves against it, and WarmStart registers every *.snap it
+	// holds. Empty disables all three (the hosserve default without
+	// -data-dir).
+	DataDir string
+	// Provenance describes where the default dataset came from, so
+	// saving it produces a snapshot that records its origin.
+	Provenance snapshot.Provenance
+	// NormStats is the raw per-column [Min,Max] behind PointTransform
+	// when the default dataset was min-max normalized. Set it together
+	// with PointTransform: it is what lets a snapshot of the default
+	// dataset carry the transform across a restart.
+	NormStats []snapshot.ColumnRange
 	// Logf, when set, receives debug-level serving events (abandoned
 	// scan outcomes, job lifecycle); nil discards them.
 	Logf func(format string, args ...any)
@@ -227,7 +242,7 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 		Workers:    opts.JobWorkers,
 		ResultTTL:  opts.JobResultTTL,
 	})
-	s.def = s.newDatasetEntry(DefaultDatasetName, m, opts.PointTransform)
+	s.def = s.newDatasetEntry(DefaultDatasetName, m, opts.PointTransform, opts.NormStats, opts.Provenance)
 	s.reg = newRegistry(s.def, opts.MaxDatasets)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
@@ -242,6 +257,7 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /datasets/load", s.handleLoadDataset)
 	s.mux.HandleFunc("POST /datasets/evict", s.handleEvictDataset)
+	s.mux.HandleFunc("POST /datasets/{name}/save", s.handleSaveDataset)
 	return s, nil
 }
 
@@ -765,6 +781,39 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 func (s *Server) error(w http.ResponseWriter, status int, msg string) {
 	s.stats.recordError()
 	s.writeJSON(w, status, &errorResponse{Error: msg})
+}
+
+// conflict answers 409 for registry-capacity and duplicate-name
+// refusals. These land in the registry_conflicts counter, not the
+// error counter: they are admission control working as designed, and
+// counting them as server errors (as the generic error path used to)
+// made a full registry look like a malfunction on dashboards.
+func (s *Server) conflict(w http.ResponseWriter, msg string) {
+	s.stats.recordRegistryConflict()
+	s.writeJSON(w, http.StatusConflict, &errorResponse{Error: msg})
+}
+
+// notFound answers 404 for requests naming a dataset that is not
+// registered — counted in dataset_not_found, apart from server errors,
+// for the same reason as conflict.
+func (s *Server) notFound(w http.ResponseWriter, msg string) {
+	s.stats.recordDatasetNotFound()
+	s.writeJSON(w, http.StatusNotFound, &errorResponse{Error: msg})
+}
+
+// registryError maps a typed registry failure onto its HTTP status
+// and counter — the single place the taxonomy is spelled out.
+func (s *Server) registryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDatasetExists), errors.Is(err, ErrRegistryFull):
+		s.conflict(w, err.Error())
+	case errors.Is(err, ErrDatasetNotFound):
+		s.notFound(w, err.Error())
+	case errors.Is(err, ErrNotEvictable):
+		s.error(w, http.StatusBadRequest, err.Error())
+	default:
+		s.error(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 // clientGone reports a request whose own client closed the connection

@@ -33,6 +33,15 @@ type serverStats struct {
 	// nothing wrong, so folding them into the error counter (as the
 	// old 503-on-disconnect path did) corrupted error-rate monitoring.
 	clientCancelled int64
+	// registryConflicts counts 409s from /datasets/load admission
+	// (duplicate name, registry full) and datasetNotFound counts 404s
+	// from requests naming an unregistered dataset (routing, evict).
+	// Both are deliberate refusals, not malfunctions, so they are
+	// excluded from the error counter — the registry-full signal in
+	// particular is how operators size MaxDatasets, and it used to
+	// drown inside the generic error count.
+	registryConflicts int64
+	datasetNotFound   int64
 	// scansAbandoned counts synchronous scans whose handler stopped
 	// listening (deadline or disconnect) before the scan goroutine
 	// delivered its outcome — work that completed (or aborted) for
@@ -110,6 +119,20 @@ func (s *serverStats) recordError() {
 func (s *serverStats) recordClientCancelled() {
 	s.mu.Lock()
 	s.clientCancelled++
+	s.mu.Unlock()
+}
+
+// recordRegistryConflict counts one 409 registry-admission refusal.
+func (s *serverStats) recordRegistryConflict() {
+	s.mu.Lock()
+	s.registryConflicts++
+	s.mu.Unlock()
+}
+
+// recordDatasetNotFound counts one 404 for an unregistered dataset.
+func (s *serverStats) recordDatasetNotFound() {
+	s.mu.Lock()
+	s.datasetNotFound++
 	s.mu.Unlock()
 }
 
@@ -200,27 +223,29 @@ type JobStats struct {
 
 // StatsSnapshot is the JSON body of GET /stats.
 type StatsSnapshot struct {
-	Queries         int64          `json:"queries"`
-	Scans           int64          `json:"scans"`
-	Errors          int64          `json:"errors"`
-	ClientCancelled int64          `json:"client_cancelled"`
-	ScansAbandoned  int64          `json:"scans_abandoned"`
-	CacheHits       int64          `json:"cache_hits"`
-	CacheMisses     int64          `json:"cache_misses"`
-	CacheEntries    int            `json:"cache_entries"`
-	InFlight        int64          `json:"in_flight"`
-	ODEvaluations   int64          `json:"od_evaluations"`
-	Batches         int64          `json:"batches"`
-	BatchItems      int64          `json:"batch_items"`
-	BatchODHits     int64          `json:"batch_od_cache_hits"`
-	BatchODMisses   int64          `json:"batch_od_cache_misses"`
-	Jobs            JobStats       `json:"jobs"`
-	Datasets        []DatasetStats `json:"datasets"`
-	LatencySample   int            `json:"latency_sample"`
-	P50Ms           float64        `json:"latency_p50_ms"`
-	P90Ms           float64        `json:"latency_p90_ms"`
-	P99Ms           float64        `json:"latency_p99_ms"`
-	UptimeSeconds   float64        `json:"uptime_seconds"`
+	Queries           int64          `json:"queries"`
+	Scans             int64          `json:"scans"`
+	Errors            int64          `json:"errors"`
+	ClientCancelled   int64          `json:"client_cancelled"`
+	RegistryConflicts int64          `json:"registry_conflicts"`
+	DatasetNotFound   int64          `json:"dataset_not_found"`
+	ScansAbandoned    int64          `json:"scans_abandoned"`
+	CacheHits         int64          `json:"cache_hits"`
+	CacheMisses       int64          `json:"cache_misses"`
+	CacheEntries      int            `json:"cache_entries"`
+	InFlight          int64          `json:"in_flight"`
+	ODEvaluations     int64          `json:"od_evaluations"`
+	Batches           int64          `json:"batches"`
+	BatchItems        int64          `json:"batch_items"`
+	BatchODHits       int64          `json:"batch_od_cache_hits"`
+	BatchODMisses     int64          `json:"batch_od_cache_misses"`
+	Jobs              JobStats       `json:"jobs"`
+	Datasets          []DatasetStats `json:"datasets"`
+	LatencySample     int            `json:"latency_sample"`
+	P50Ms             float64        `json:"latency_p50_ms"`
+	P90Ms             float64        `json:"latency_p90_ms"`
+	P99Ms             float64        `json:"latency_p99_ms"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
 }
 
 // snapshot assembles the counters under one lock acquisition. Sorting
@@ -235,20 +260,22 @@ func (s *serverStats) snapshot(cacheEntries int, uptime time.Duration) StatsSnap
 	lat := make([]time.Duration, n)
 	copy(lat, s.ring[:n])
 	snap := StatsSnapshot{
-		Queries:         s.queries,
-		Scans:           s.scans,
-		Errors:          s.errors,
-		ClientCancelled: s.clientCancelled,
-		ScansAbandoned:  s.scansAbandoned,
-		CacheHits:       s.cacheHits,
-		CacheMisses:     s.cacheMiss,
-		CacheEntries:    cacheEntries,
-		InFlight:        s.inFlight,
-		ODEvaluations:   s.odEvals,
-		Batches:         s.batches,
-		BatchItems:      s.batchItems,
-		BatchODHits:     s.batchODCacheHits,
-		BatchODMisses:   s.batchODCacheMisses,
+		Queries:           s.queries,
+		Scans:             s.scans,
+		Errors:            s.errors,
+		ClientCancelled:   s.clientCancelled,
+		RegistryConflicts: s.registryConflicts,
+		DatasetNotFound:   s.datasetNotFound,
+		ScansAbandoned:    s.scansAbandoned,
+		CacheHits:         s.cacheHits,
+		CacheMisses:       s.cacheMiss,
+		CacheEntries:      cacheEntries,
+		InFlight:          s.inFlight,
+		ODEvaluations:     s.odEvals,
+		Batches:           s.batches,
+		BatchItems:        s.batchItems,
+		BatchODHits:       s.batchODCacheHits,
+		BatchODMisses:     s.batchODCacheMisses,
 	}
 	s.mu.Unlock()
 

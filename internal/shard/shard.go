@@ -19,6 +19,7 @@
 package shard
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"runtime"
@@ -167,6 +168,27 @@ type Engine struct {
 
 // NewEngine partitions ds and builds one index per shard.
 func NewEngine(ds *vector.Dataset, cfg Config) (*Engine, error) {
+	return newEngine(ds, cfg, nil)
+}
+
+// NewEngineFromEncoded is NewEngine with warm-started per-shard
+// indexes: encoded[s] holds the xtree.Encode bytes of shard s's tree
+// (nil for shards the configuration backs with a linear scan). The
+// partition itself is recomputed — it is a pure function of (dataset,
+// config) — and each provided tree is decoded against its shard's
+// sub-dataset and validated, so a snapshot restore skips the index
+// build but not the integrity checks. A tree supplied for a shard the
+// configuration would not index (or vice versa) is a shape mismatch
+// and fails, as does a decoded tree whose metric disagrees with the
+// engine's.
+func NewEngineFromEncoded(ds *vector.Dataset, cfg Config, encoded [][]byte) (*Engine, error) {
+	if encoded == nil {
+		return nil, fmt.Errorf("shard: nil encoded tree set")
+	}
+	return newEngine(ds, cfg, encoded)
+}
+
+func newEngine(ds *vector.Dataset, cfg Config, encoded [][]byte) (*Engine, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("shard: nil dataset")
 	}
@@ -184,6 +206,9 @@ func NewEngine(ds *vector.Dataset, cfg Config) (*Engine, error) {
 	}
 	if cfg.Index > IndexXTree {
 		return nil, fmt.Errorf("shard: invalid index kind %v", cfg.Index)
+	}
+	if encoded != nil && len(encoded) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d encoded trees for %d shards", len(encoded), cfg.Shards)
 	}
 
 	n, d := ds.N(), ds.Dim()
@@ -217,7 +242,22 @@ func NewEngine(ds *vector.Dataset, cfg Config) (*Engine, error) {
 		p := &partition{sub: sub, global: rows[s]}
 		useTree := cfg.Index == IndexXTree ||
 			(cfg.Index == IndexAuto && sub.N() >= AutoXTreeThreshold)
-		if useTree {
+		switch {
+		case encoded != nil && useTree != (len(encoded[s]) > 0):
+			// The warm-start set must mirror exactly the shards this
+			// configuration indexes: a missing or surplus tree means the
+			// snapshot was taken under a different topology.
+			return nil, fmt.Errorf("shard %d: encoded index shape mismatch (tree expected: %v)", s, useTree)
+		case encoded != nil && useTree:
+			t, err := xtree.Decode(bytes.NewReader(encoded[s]), sub)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", s, err)
+			}
+			if t.Metric() != cfg.Metric {
+				return nil, fmt.Errorf("shard %d: encoded tree metric %v, engine uses %v", s, t.Metric(), cfg.Metric)
+			}
+			p.tree = t
+		case useTree:
 			t, err := xtree.Build(sub, cfg.Metric, xtree.DefaultConfig())
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: %w", s, err)
@@ -227,6 +267,25 @@ func NewEngine(ds *vector.Dataset, cfg Config) (*Engine, error) {
 		e.parts[s] = p
 	}
 	return e, nil
+}
+
+// EncodedTrees serializes every shard's X-tree for snapshotting:
+// entry s is the xtree.Encode bytes of shard s's index, or nil when
+// the shard is backed by a linear scan. NewEngineFromEncoded accepts
+// the result, given the same dataset and configuration.
+func (e *Engine) EncodedTrees() ([][]byte, error) {
+	out := make([][]byte, len(e.parts))
+	for s, p := range e.parts {
+		if p.tree == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := p.tree.Encode(&buf); err != nil {
+			return nil, fmt.Errorf("shard %d: encoding tree: %w", s, err)
+		}
+		out[s] = buf.Bytes()
+	}
+	return out, nil
 }
 
 // NumShards returns the partition width.

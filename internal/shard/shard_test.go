@@ -331,3 +331,97 @@ func BenchmarkShardedQuery(b *testing.B) {
 		})
 	}
 }
+
+// TestEncodedTreesRoundTrip: an engine rebuilt from EncodedTrees must
+// answer scatter-gather probes identically to the original, and shape
+// mismatches between the encoded set and the configuration must fail.
+func TestEncodedTreesRoundTrip(t *testing.T) {
+	ds := randomDataset(t, 1200, 4, 17) // > AutoXTreeThreshold per shard at width 2
+	cfg := Config{Shards: 2, Partitioner: HashPoint, Metric: vector.L2, Index: IndexAuto}
+	fresh, err := NewEngine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := fresh.EncodedTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasTree := false
+	for _, b := range encoded {
+		if len(b) > 0 {
+			hasTree = true
+		}
+	}
+	if !hasTree {
+		t.Fatal("no shard produced an encoded tree; fixture too small")
+	}
+	warm, err := NewEngineFromEncoded(ds, cfg, encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.ShardSizes(), fresh.ShardSizes()) {
+		t.Fatalf("shard sizes diverge: %v vs %v", warm.ShardSizes(), fresh.ShardSizes())
+	}
+	sa, err := fresh.NewSearcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := warm.NewSearcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 30; q++ {
+		query := make([]float64, 4)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		sub := subspace.Mask(rng.Intn(15) + 1)
+		k := 1 + rng.Intn(8)
+		want := sa.KNN(query, sub, k, -1)
+		got := sb.KNN(query, sub, k, -1)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("probe %d diverged:\n want %v\n got  %v", q, want, got)
+		}
+	}
+
+	// Shape mismatches: wrong width, tree where none belongs, missing
+	// tree where one belongs.
+	if _, err := NewEngineFromEncoded(ds, cfg, encoded[:1]); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	linCfg := cfg
+	linCfg.Index = IndexLinear
+	if _, err := NewEngineFromEncoded(ds, linCfg, encoded); err == nil {
+		t.Fatal("trees accepted for a linear configuration")
+	}
+	empty := make([][]byte, cfg.Shards)
+	if _, err := NewEngineFromEncoded(ds, cfg, empty); err == nil {
+		t.Fatal("missing trees accepted for a tree configuration")
+	}
+	// Corrupt bytes must be rejected by the decoder.
+	bad := make([][]byte, len(encoded))
+	for i, b := range encoded {
+		bad[i] = append([]byte(nil), b...)
+	}
+	for i := range bad {
+		if len(bad[i]) > 0 {
+			bad[i][len(bad[i])/3] ^= 0x55
+		}
+	}
+	if _, err := NewEngineFromEncoded(ds, cfg, bad); err == nil {
+		t.Fatal("corrupt tree bytes accepted")
+	}
+	// Linear configurations round-trip through an all-nil encoded set.
+	linFresh, err := NewEngine(ds, linCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linEnc, err := linFresh.EncodedTrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngineFromEncoded(ds, linCfg, linEnc); err != nil {
+		t.Fatalf("linear round-trip failed: %v", err)
+	}
+}

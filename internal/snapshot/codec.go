@@ -1,0 +1,144 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// encoder appends fixed-width little-endian primitives to a buffer.
+// Strings and byte blobs are u32-length-prefixed.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) f64s(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+// decoder reads the encoder's output back with a sticky error: every
+// read is bounds-checked against the remaining payload, and any
+// overrun surfaces as ErrCorrupt (the CRC already passed, so a short
+// field is structural corruption, not truncation).
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.remaining() < n {
+		d.err = fmt.Errorf("%w: field overruns payload", ErrCorrupt)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// bytes returns a copy, so the decoded snapshot does not alias the
+// payload buffer.
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil || n == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *decoder) f64s() []float64 {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if d.remaining()/8 < n {
+		d.err = fmt.Errorf("%w: float slice overruns payload", ErrCorrupt)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// putU32/putU64/getU32/getU64 operate on the fixed header outside the
+// payload encoder.
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }

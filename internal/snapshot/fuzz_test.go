@@ -1,0 +1,63 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/shard"
+)
+
+// fuzzSeed builds one valid snapshot byte stream for the corpus.
+func fuzzSeed(tb testing.TB, cfg core.Config) []byte {
+	ds, _, err := datagen.GenerateSynthetic(datagen.SyntheticConfig{N: 80, D: 3, NumOutliers: 2, Seed: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := core.NewMiner(ds, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.Preprocess(); err != nil {
+		tb.Fatal(err)
+	}
+	s, err := Capture("fuzz", Provenance{Generator: "synthetic", Seed: 4}, m)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotRead is the decoder's no-panic guarantee: whatever bytes
+// arrive — truncated, bit-flipped, adversarial — Read must return a
+// snapshot or a typed error, never panic or runaway-allocate. Run in
+// CI as a fuzz smoke (-fuzztime=10s) and forever expandable locally.
+func FuzzSnapshotRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("HOSSNAP1"))
+	f.Add(fuzzSeed(f, core.Config{K: 3, TQuantile: 0.9, Seed: 1, Backend: core.BackendXTree}))
+	f.Add(fuzzSeed(f, core.Config{K: 3, T: 5, Seed: 1, Shards: 2, Partitioner: shard.HashPoint, Backend: core.BackendXTree}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrSnapshot) {
+				t.Fatalf("decode error outside the typed taxonomy: %v", err)
+			}
+			return
+		}
+		// A successful parse must yield a structurally usable snapshot:
+		// restoring it may fail (index/config shape), but never panic.
+		if s.Dataset == nil {
+			t.Fatal("nil dataset on successful read")
+		}
+		if s.HasState() {
+			_, _ = s.Restore()
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package xtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/subspace"
+	"repro/internal/vector"
+)
+
+// This file is the on-disk codec of a built X-tree: Encode flattens
+// the node structure (shape, point indices, split histories, supernode
+// flags) and Decode rebuilds an identical tree over the same dataset,
+// so a serving process can warm-start without paying the insertion
+// cost of Build. Coordinates and MBRs are deliberately NOT stored:
+// points live in the dataset the caller supplies to Decode, and every
+// MBR in a valid tree is exactly the min/max bound of its entries —
+// recomputing them bottom-up from the same float64 values reproduces
+// the same bytes, and keeps the format free of redundant data that
+// could disagree with itself.
+//
+// Decode trusts nothing: every read is bounds-checked, structural
+// budgets cap allocation before it happens, and the rebuilt tree must
+// pass the full Validate() sweep before it is returned. Corrupt or
+// truncated input yields an error wrapping ErrDecode, never a panic.
+
+// codecMagic identifies an encoded X-tree stream; codecVersion guards
+// the structure layout.
+const (
+	codecMagic   uint32 = 0x58545231 // "XTR1"
+	codecVersion uint32 = 1
+)
+
+// ErrDecode is wrapped by every Decode failure, whatever the cause
+// (bad magic, truncation, structural corruption, validation failure),
+// so callers can classify "this is not a usable tree" with errors.Is.
+var ErrDecode = errors.New("xtree: invalid encoded tree")
+
+// maxDecodeDepth bounds recursion while decoding: a valid X-tree over
+// a bounded dataset is far shallower, and unbounded nesting in a
+// hostile stream must not exhaust the stack.
+const maxDecodeDepth = 512
+
+// Encode writes the tree in the binary codec format. The dataset
+// itself is not written; Decode must be given the same dataset (same
+// point order and values) to rebuild an equivalent tree.
+func (t *Tree) Encode(w io.Writer) error {
+	e := &treeEncoder{w: w}
+	e.u32(codecMagic)
+	e.u32(codecVersion)
+	e.u32(uint32(t.cfg.MaxEntries))
+	e.f64(t.cfg.MinFillFraction)
+	e.f64(t.cfg.MaxOverlapFraction)
+	e.u8(uint8(t.metric))
+	e.u32(uint32(t.size))
+	e.u32(uint32(t.supernodes))
+	e.node(t.root)
+	return e.err
+}
+
+// Decode reads a tree previously written by Encode, binds it to ds,
+// recomputes all MBRs and validates the result. The metric the tree
+// was built with is restored from the stream; callers that require a
+// particular metric should check Metric() afterwards.
+func Decode(r io.Reader, ds *vector.Dataset) (*Tree, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrDecode)
+	}
+	d := &treeDecoder{r: r}
+	if magic := d.u32(); d.err == nil && magic != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrDecode, magic)
+	}
+	if version := d.u32(); d.err == nil && version != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrDecode, version)
+	}
+	cfg := Config{
+		MaxEntries:         int(d.u32()),
+		MinFillFraction:    d.f64(),
+		MaxOverlapFraction: d.f64(),
+	}
+	metric := vector.Metric(d.u8())
+	size := int(d.u32())
+	supernodes := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("%w: invalid metric %d", ErrDecode, uint8(metric))
+	}
+	if size != ds.N() {
+		return nil, fmt.Errorf("%w: tree indexes %d points, dataset has %d", ErrDecode, size, ds.N())
+	}
+	// Budgets: a tree over n points has at most n leaf entries, and
+	// its node count is bounded by the entry count (every non-root
+	// node holds ≥ 1 entry). The +8 keeps tiny/empty trees legal.
+	d.pointBudget = size
+	d.maxIndex = size
+	d.nodeBudget = 2*size + 8
+	t := &Tree{ds: ds, metric: metric, cfg: cfg, size: size, supernodes: supernodes}
+	root, err := d.node(0, subspace.Full(ds.Dim()))
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	finishDecodedNode(root, ds.Dim(), t.pointOf)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return t, nil
+}
+
+// Metric returns the distance metric the tree was built with.
+func (t *Tree) Metric() vector.Metric { return t.metric }
+
+// Config returns the construction parameters of the tree.
+func (t *Tree) Config() Config { return t.cfg }
+
+// finishDecodedNode rebuilds the derived state Decode does not read
+// from the stream: parent pointers and MBRs, bottom-up.
+func finishDecodedNode(n *node, dim int, pointOf func(int) []float64) {
+	for _, c := range n.children {
+		c.parent = n
+		finishDecodedNode(c, dim, pointOf)
+	}
+	n.recomputeMBR(dim, pointOf)
+}
+
+// node flags in the encoded stream.
+const (
+	flagLeaf  = 1 << 0
+	flagSuper = 1 << 1
+)
+
+// treeEncoder writes fixed-width little-endian values with a sticky
+// error, so Encode reads as straight-line code.
+type treeEncoder struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (e *treeEncoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *treeEncoder) u8(v uint8) { e.write([]byte{v}) }
+
+func (e *treeEncoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+func (e *treeEncoder) f64(v float64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], math.Float64bits(v))
+	e.write(e.buf[:8])
+}
+
+func (e *treeEncoder) node(n *node) {
+	if e.err != nil {
+		return
+	}
+	var flags uint8
+	if n.leaf {
+		flags |= flagLeaf
+	}
+	if n.super {
+		flags |= flagSuper
+	}
+	e.u8(flags)
+	e.u32(uint32(n.splitHistory))
+	if n.leaf {
+		e.u32(uint32(len(n.points)))
+		for _, idx := range n.points {
+			e.u32(uint32(idx))
+		}
+		return
+	}
+	e.u32(uint32(len(n.children)))
+	for _, c := range n.children {
+		e.node(c)
+	}
+}
+
+// treeDecoder reads the same stream back with bounds checks and
+// allocation budgets.
+type treeDecoder struct {
+	r           io.Reader
+	err         error
+	buf         [8]byte
+	pointBudget int
+	maxIndex    int
+	nodeBudget  int
+}
+
+func (d *treeDecoder) read(n int) []byte {
+	if d.err != nil {
+		return d.buf[:n]
+	}
+	if _, err := io.ReadFull(d.r, d.buf[:n]); err != nil {
+		d.err = fmt.Errorf("%w: truncated stream: %v", ErrDecode, err)
+	}
+	return d.buf[:n]
+}
+
+func (d *treeDecoder) u8() uint8   { return d.read(1)[0] }
+func (d *treeDecoder) u32() uint32 { return binary.LittleEndian.Uint32(d.read(4)) }
+func (d *treeDecoder) f64() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(d.read(8)))
+}
+
+func (d *treeDecoder) node(depth int, full subspace.Mask) (*node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("%w: nesting deeper than %d", ErrDecode, maxDecodeDepth)
+	}
+	if d.nodeBudget--; d.nodeBudget < 0 {
+		return nil, fmt.Errorf("%w: more nodes than the dataset can populate", ErrDecode)
+	}
+	flags := d.u8()
+	history := subspace.Mask(d.u32())
+	count := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if flags&^(flagLeaf|flagSuper) != 0 {
+		return nil, fmt.Errorf("%w: unknown node flags %#x", ErrDecode, flags)
+	}
+	if !history.SubsetOf(full) {
+		return nil, fmt.Errorf("%w: split history %v outside dimensionality", ErrDecode, history)
+	}
+	n := &node{leaf: flags&flagLeaf != 0, super: flags&flagSuper != 0, splitHistory: history}
+	if n.leaf {
+		if count > d.pointBudget {
+			return nil, fmt.Errorf("%w: leaf claims %d points, only %d remain", ErrDecode, count, d.pointBudget)
+		}
+		d.pointBudget -= count
+		n.points = make([]int, count)
+		for i := range n.points {
+			idx := d.u32()
+			if d.err != nil {
+				return nil, d.err
+			}
+			// Guard before anything dereferences the dataset: an
+			// out-of-range index would panic in recomputeMBR.
+			if int(idx) >= d.maxIndex {
+				return nil, fmt.Errorf("%w: point index %d out of range [0,%d)", ErrDecode, idx, d.maxIndex)
+			}
+			n.points[i] = int(idx)
+		}
+		return n, nil
+	}
+	if count > d.nodeBudget {
+		return nil, fmt.Errorf("%w: directory claims %d children, budget %d", ErrDecode, count, d.nodeBudget)
+	}
+	n.children = make([]*node, count)
+	for i := range n.children {
+		c, err := d.node(depth+1, full)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = c
+	}
+	return n, nil
+}
