@@ -169,6 +169,13 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.DurationVar(&cc.srv.JobResultTTL, "job-ttl", 0, "retention of finished async job results (default 15m)")
 	fs.DurationVar(&cc.srv.JobTimeout, "job-timeout", 0, "runaway backstop per async job (default 30m, negative disables)")
 	fs.DurationVar(&cc.jobDrain, "job-drain", 30*time.Second, "on shutdown, how long queued/running async jobs may finish before being cancelled")
+	fs.DurationVar(&cc.srv.Overload.Window, "breaker-window", 0, "per-dataset circuit-breaker outcome window (default 10s)")
+	fs.DurationVar(&cc.srv.Overload.CoolDown, "breaker-cooldown", 0, "how long an open breaker rejects before half-open probing (default 5s)")
+	fs.Float64Var(&cc.srv.Overload.FailureRatio, "breaker-ratio", 0, "error+timeout ratio that trips a dataset's breaker (default 0.5)")
+	fs.IntVar(&cc.srv.Overload.MinSamples, "breaker-min-samples", 0, "volume floor before a breaker may trip (default 10)")
+	fs.IntVar(&cc.srv.Overload.MinLimit, "limit-min", 0, "floor of the per-dataset adaptive concurrency limit (default 1)")
+	fs.IntVar(&cc.srv.Overload.MaxLimit, "limit-max", 0, "ceiling of the per-dataset adaptive concurrency limit (default: sum of the class caps)")
+	fs.DurationVar(&cc.srv.Overload.TargetP99, "target-p99", 0, "query p99 the AIMD limiter defends per dataset (default query-timeout/2)")
 	fs.BoolVar(&cc.debug, "debug", false, "log debug-level serving events (abandoned scans, job lifecycle)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err

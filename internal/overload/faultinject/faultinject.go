@@ -1,0 +1,133 @@
+// Package faultinject is the deterministic fault-injection toolkit
+// the overload suite is proven with: a manually-advanced clock that
+// stands in for time.Now across every time-driven transition, and an
+// injector that makes chosen datasets fail or slow down on demand.
+// Nothing here sleeps; tests advance time and flip faults explicitly,
+// which is what keeps the whole suite sub-second and flake-free.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a manually-advanced time source. Its Now method satisfies
+// the overload.Config.Clock / jobs.Options.Clock injection points.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock starts a clock at start. The zero time is permitted but a
+// fixed non-zero epoch keeps test output readable.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now reads the current fake time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative advances panic: a clock that runs backwards would silently
+// invalidate every window computation built on it.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic(fmt.Sprintf("faultinject: clock advanced by negative %s", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Fault is one dataset's injected behaviour.
+type Fault struct {
+	// Err, when non-nil, is returned from the hook — the compute path
+	// surfaces it as the request's failure.
+	Err error
+	// Delay is added to the request's *reported* latency without
+	// sleeping: the server's hook contract treats it as observed
+	// compute time, so tests can inject a "latency spike" that the
+	// AIMD limiter sees while the suite still runs in microseconds.
+	Delay time.Duration
+}
+
+// Injector decides, per (op, dataset), whether a request fails or
+// slows. Install its Hook on the server under test; program faults
+// with Set/Clear while the test runs. All methods are safe for
+// concurrent use — the race hammer flips faults mid-flight.
+type Injector struct {
+	mu     sync.Mutex
+	faults map[string]Fault // key: dataset, or "op:dataset" for op-scoped faults
+	calls  map[string]int   // per-dataset hook invocations, faulted or not
+}
+
+// NewInjector builds an empty (transparent) injector.
+func NewInjector() *Injector {
+	return &Injector{
+		faults: make(map[string]Fault),
+		calls:  make(map[string]int),
+	}
+}
+
+// Set injects f for every operation against dataset.
+func (i *Injector) Set(dataset string, f Fault) {
+	i.mu.Lock()
+	i.faults[dataset] = f
+	i.mu.Unlock()
+}
+
+// SetOp injects f only for op (e.g. "query", "batch", "scan")
+// against dataset — op-scoped faults take precedence over Set.
+func (i *Injector) SetOp(op, dataset string, f Fault) {
+	i.mu.Lock()
+	i.faults[op+":"+dataset] = f
+	i.mu.Unlock()
+}
+
+// Clear removes every fault against dataset (op-scoped included) —
+// the "the dataset recovered" switch.
+func (i *Injector) Clear(dataset string) {
+	i.mu.Lock()
+	delete(i.faults, dataset)
+	for k := range i.faults {
+		if len(k) > len(dataset) && k[len(k)-len(dataset):] == dataset &&
+			k[len(k)-len(dataset)-1] == ':' {
+			delete(i.faults, k)
+		}
+	}
+	i.mu.Unlock()
+}
+
+// Calls reports how many hook invocations dataset has seen — the
+// test's proof that traffic did (or, breaker open, did not) reach
+// the compute path.
+func (i *Injector) Calls(dataset string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.calls[dataset]
+}
+
+// Hook is the function to install as the server's fault hook. It
+// returns the injected error (nil when healthy) and the injected
+// extra latency for the (op, dataset) pair.
+func (i *Injector) Hook() func(op, dataset string) (time.Duration, error) {
+	return func(op, dataset string) (time.Duration, error) {
+		i.mu.Lock()
+		i.calls[dataset]++
+		f, ok := i.faults[op+":"+dataset]
+		if !ok {
+			f, ok = i.faults[dataset]
+		}
+		i.mu.Unlock()
+		if !ok {
+			return 0, nil
+		}
+		return f.Delay, f.Err
+	}
+}

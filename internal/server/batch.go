@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/overload"
 )
 
 // POST /batch evaluates many outlying-subspace queries as one request
@@ -135,9 +137,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// block so it lands in serverStats as one consistent transition.
 	var batchStats struct{ odHits, odMisses, odEvals int64 }
 	if len(queries) > 0 {
-		select {
-		case s.batchSem <- struct{}{}:
-		default:
+		// Batch traffic fails fast at the guard: it is programmatic and
+		// retryable, so it is shed before interactive queries — but
+		// after bulk scans — as the adaptive limit shrinks. A
+		// fully-cached batch never reaches this admission.
+		permit, rej := d.guard.Admit(r.Context(), overload.Batch, false)
+		if rej != nil {
+			if rej.Reason == overload.ReasonBreakerOpen {
+				s.shedBreakerOpen(w, d.name, rej)
+				return
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(overload.RetryAfterSeconds(rej.RetryAfter)))
 			s.error(w, http.StatusTooManyRequests,
 				fmt.Sprintf("batch limit (%d concurrent) reached, retry later", s.opts.MaxConcurrentBatches))
 			return
@@ -151,11 +161,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		done := make(chan outcome, 1)
 		go func() {
-			defer func() { <-s.batchSem }()
+			computeStart := time.Now()
+			if s.opts.FaultHook != nil {
+				if _, err := s.opts.FaultHook("batch", d.name); err != nil {
+					permit.Release(outcomeFor(err), time.Since(computeStart))
+					done <- outcome{nil, err}
+					return
+				}
+			}
 			res, err := d.miner.QueryBatch(ctx, queries, core.BatchOptions{
 				Workers: workers,
 				Pool:    d.pool,
 			})
+			permit.Release(outcomeFor(err), time.Since(computeStart))
 			done <- outcome{res, err}
 		}()
 

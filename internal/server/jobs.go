@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/overload"
 )
 
 // This file is the asynchronous face of /scan: the same full-lattice
@@ -120,6 +121,23 @@ func (s *Server) handleSubmitScanJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Jobs run on their own worker pool, so the guard admits them
+	// detached — no concurrency permit is held through queueing and
+	// execution — but the dataset's breaker and the bulk class's share
+	// of the adaptive limit still gate submission: a dataset that is
+	// drowning must not keep accepting background sweeps it cannot
+	// serve. The job's outcome feeds back via RecordDetached below.
+	if rej := plan.d.guard.AdmitDetached(overload.Bulk); rej != nil {
+		if rej.Reason == overload.ReasonBreakerOpen {
+			s.shedBreakerOpen(w, plan.d.name, rej)
+			return
+		}
+		retry := overload.RetryAfterSeconds(rej.RetryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.error(w, http.StatusTooManyRequests,
+			fmt.Sprintf("dataset %q at its bulk concurrency share, retry in ~%ds", plan.d.name, retry))
+		return
+	}
 	snap, err := s.jobs.Submit("scan", func(jobCtx context.Context, report func(done, total int)) (any, error) {
 		runCtx := jobCtx
 		if s.opts.JobTimeout > 0 {
@@ -131,6 +149,11 @@ func (s *Server) handleSubmitScanJob(w http.ResponseWriter, r *http.Request) {
 		// starts when a worker picks the job up, not at submission —
 		// queue wait is visible separately (created_at vs started_at).
 		resp, err := plan.run(runCtx, time.Now(), report)
+		// The detached admission's outcome lands in the breaker window
+		// before the error is dressed up for the poller: a job-timeout
+		// or engine failure is evidence against the dataset, while a
+		// DELETE-cancelled job proves nothing either way.
+		plan.d.guard.RecordDetached(outcomeFor(err))
 		if err != nil {
 			// A deadline with the job's own context still live is the
 			// JobTimeout backstop firing; name it, or the poller sees
@@ -150,15 +173,13 @@ func (s *Server) handleSubmitScanJob(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		retry := int(math.Ceil(s.jobs.RetryAfter().Seconds()))
-		// Belt and braces over the manager's own floor: whatever the
+		// The shared helper floors the estimate at 1s: whatever the
 		// estimator returns (it has no run-time history before the
 		// first job finishes), "Retry-After: 0" is never a sane header
 		// on a 429 — a literal client would hammer the full queue in a
-		// zero-delay loop.
-		if retry < 1 {
-			retry = 1
-		}
+		// zero-delay loop. Breaker-open 503s go through the same floor
+		// (shedBreakerOpen), so no rejection path can undercut it.
+		retry := overload.RetryAfterSeconds(s.jobs.RetryAfter())
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		s.error(w, http.StatusTooManyRequests,
 			fmt.Sprintf("job queue full (%d queued), retry in ~%ds", s.opts.JobQueueDepth, retry))

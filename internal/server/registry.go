@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/overload"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
 	"repro/internal/subspace"
@@ -42,6 +43,12 @@ type dataset struct {
 	pool    *core.EvaluatorPool
 	cache   *resultCache
 	queries atomic.Int64
+	// guard is the dataset's admission gate: circuit breaker + AIMD
+	// concurrency limiter (internal/overload). It is created with the
+	// entry and dies with it, which is what makes evict + reload a
+	// clean breaker reset — a recovered dataset re-registered under
+	// the same name starts closed with a full concurrency limit.
+	guard *overload.Guard
 	// transform maps ad-hoc query vectors into the dataset's
 	// coordinate space (nil = identity); only the default dataset,
 	// whose owner may have normalized it at startup, carries one.
@@ -389,11 +396,37 @@ func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]fl
 		miner:     m,
 		pool:      m.NewEvaluatorPool(),
 		cache:     newResultCache(s.opts.CacheSize),
+		guard:     overload.NewGuard(s.guardConfig()),
 		transform: transform,
 		created:   time.Now(),
 		prov:      prov,
 		normStats: norm,
 	}
+}
+
+// guardConfig derives a per-dataset overload config from Options:
+// explicit Overload fields win, and the gaps are filled from the
+// classic tuning knobs. The class caps default to the static
+// MaxConcurrent* bounds — each class keeps its hard ceiling — and the
+// adaptive limit tops out at their sum, so a healthy dataset behaves
+// exactly as the static-semaphore server did; only under pressure
+// does the shrinking limit bite (bulk first, then batch).
+func (s *Server) guardConfig() overload.Config {
+	cfg := s.opts.Overload
+	if cfg.ClassCaps == [3]int{} {
+		cfg.ClassCaps = [3]int{
+			overload.Interactive: s.opts.MaxConcurrentQueries,
+			overload.Batch:       s.opts.MaxConcurrentBatches,
+			overload.Bulk:        s.opts.MaxConcurrentScans,
+		}
+	}
+	if cfg.MaxLimit == 0 {
+		cfg.MaxLimit = s.opts.MaxConcurrentQueries + s.opts.MaxConcurrentBatches + s.opts.MaxConcurrentScans
+	}
+	if cfg.TargetP99 == 0 {
+		cfg.TargetP99 = s.opts.QueryTimeout / 2
+	}
+	return cfg
 }
 
 // info renders the entry for /datasets and /stats.
@@ -420,14 +453,27 @@ func (d *dataset) info() datasetInfo {
 }
 
 // stats renders the entry for the /stats datasets section, including
-// the cumulative per-shard work counters.
+// the cumulative per-shard work counters and the overload guard.
 func (d *dataset) stats() DatasetStats {
+	g := d.guard.Snapshot()
 	out := DatasetStats{
 		Name:    d.name,
 		N:       d.miner.Dataset().N(),
 		D:       d.miner.Dataset().Dim(),
 		Shards:  d.miner.NumShards(),
 		Queries: d.queries.Load(),
+		Overload: OverloadStats{
+			BreakerState:     g.Breaker.State.String(),
+			BreakerOpens:     g.Breaker.Opens,
+			ConcurrencyLimit: g.Limiter.Limit,
+			InFlight:         g.Limiter.Total,
+			P99Ms:            float64(g.Limiter.P99) / float64(time.Millisecond),
+			Received:         g.Received,
+			Admitted:         g.Admitted,
+			Shed:             g.Shed,
+			ShedBreakerOpen:  g.ShedBreakerOpen,
+			ShedCapacity:     g.ShedCapacity,
+		},
 	}
 	if e := d.miner.ShardEngine(); e != nil {
 		sizes := e.ShardSizes()

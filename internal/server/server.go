@@ -17,8 +17,11 @@
 // private OD evaluator from a core.EvaluatorPool. Repeated identical
 // queries are answered from an in-memory LRU keyed by (point,
 // exclude) — the Miner's configuration is fixed per server, so the
-// key does not need to carry it. Scans are serialised by a semaphore
-// and every request is bounded by a body-size limit and a deadline.
+// key does not need to carry it. Every request is bounded by a
+// body-size limit and a deadline, and admitted through the dataset's
+// overload guard (internal/overload): a per-dataset circuit breaker
+// plus an AIMD concurrency limiter with priority-aware shedding —
+// /query outranks /batch outranks /scan and /jobs/scan.
 package server
 
 import (
@@ -31,10 +34,12 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/overload"
 	"repro/internal/snapshot"
 	"repro/internal/subspace"
 )
@@ -119,6 +124,22 @@ type Options struct {
 	// jobs exist so scans longer than any request deadline still
 	// complete; this is only the runaway backstop.
 	JobTimeout time.Duration
+	// Overload tunes the per-dataset admission guards (circuit breaker
+	// + AIMD concurrency limiter — see internal/overload). Zero fields
+	// take the package defaults, except where the server derives better
+	// ones: MaxLimit defaults to the sum of the three class caps,
+	// TargetP99 to QueryTimeout/2, and ClassCaps to
+	// [MaxConcurrentQueries, MaxConcurrentBatches, MaxConcurrentScans],
+	// so the operator's static bounds survive as per-class ceilings
+	// under the adaptive limit.
+	Overload overload.Config
+	// FaultHook, when set, is consulted at the start of every compute
+	// (op ∈ "query"|"batch"|"scan", plus the dataset name). A non-nil
+	// error fails the request with it; the returned duration is added
+	// to the request's latency as observed by the overload guard
+	// without sleeping. It exists for the fault-injection test harness
+	// and must be nil in production.
+	FaultHook func(op, dataset string) (time.Duration, error)
 	// DataDir is the snapshot directory: POST /datasets/{name}/save
 	// writes <name>.snap here, the "file" field of /datasets/load
 	// resolves against it, and WarmStart registers every *.snap it
@@ -197,21 +218,20 @@ func (o *Options) setDefaults() {
 
 // Server is the HTTP face of a registry of preprocessed Miners: the
 // default dataset it was constructed over plus any loaded at runtime
-// through POST /datasets/load. Compute bounds (scan/query/batch
-// semaphores) are process-wide, shared across datasets; result caches
-// and evaluator pools are per dataset.
+// through POST /datasets/load. Admission control is per dataset: each
+// registry entry carries an overload.Guard (circuit breaker + AIMD
+// concurrency limiter) so one slow dataset sheds its own traffic
+// instead of starving its siblings; result caches and evaluator pools
+// are likewise per dataset.
 type Server struct {
-	reg      *registry
-	def      *dataset
-	opts     Options
-	stats    *serverStats
-	jobs     *jobs.Manager
-	scanSem  chan struct{}
-	querySem chan struct{}
-	batchSem chan struct{}
-	loadSem  chan struct{}
-	mux      *http.ServeMux
-	started  time.Time
+	reg     *registry
+	def     *dataset
+	opts    Options
+	stats   *serverStats
+	jobs    *jobs.Manager
+	loadSem chan struct{}
+	mux     *http.ServeMux
+	started time.Time
 }
 
 // New builds a Server over the Miner, running Preprocess if the
@@ -228,14 +248,11 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: preprocessing: %w", err)
 	}
 	s := &Server{
-		opts:     opts,
-		stats:    newServerStats(opts.LatencyWindow),
-		scanSem:  make(chan struct{}, opts.MaxConcurrentScans),
-		querySem: make(chan struct{}, opts.MaxConcurrentQueries),
-		batchSem: make(chan struct{}, opts.MaxConcurrentBatches),
-		loadSem:  make(chan struct{}, 1),
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
+		opts:    opts,
+		stats:   newServerStats(opts.LatencyWindow),
+		loadSem: make(chan struct{}, 1),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
 	}
 	s.jobs = jobs.NewManager(jobs.Options{
 		QueueDepth: opts.JobQueueDepth,
@@ -412,19 +429,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Take a compute slot before spawning: when the server is
-	// saturated, requests shed here (503 on deadline, 408 on client
-	// disconnect) instead of queueing unbounded abandoned work.
-	deadline := time.NewTimer(s.opts.QueryTimeout)
-	defer deadline.Stop()
-	select {
-	case s.querySem <- struct{}{}:
-	case <-r.Context().Done():
-		s.clientGone(w, "query")
-		return
-	case <-deadline.C:
-		s.error(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("no compute slot within the %s deadline", s.opts.QueryTimeout))
+	// Admit through the dataset's overload guard before spawning: when
+	// the dataset is saturated (or its breaker is open), requests shed
+	// here instead of queueing unbounded abandoned work. The admission
+	// wait and the compute wait share one deadline, so a request never
+	// occupies the handler longer than QueryTimeout in total.
+	queryCtx, cancelQuery := context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+	defer cancelQuery()
+	permit, rej := d.guard.Admit(queryCtx, overload.Interactive, true)
+	if rej != nil {
+		switch {
+		case rej.Reason == overload.ReasonBreakerOpen:
+			s.shedBreakerOpen(w, d.name, rej)
+		case r.Context().Err() != nil:
+			s.clientGone(w, "query")
+		default:
+			w.Header().Set("Retry-After", strconv.Itoa(overload.RetryAfterSeconds(rej.RetryAfter)))
+			s.error(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("no compute slot within the %s deadline", s.opts.QueryTimeout))
+		}
 		return
 	}
 
@@ -434,18 +457,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		// The slot is held until the computation finishes — even past
+		// The permit is held until the computation finishes — even past
 		// the handler's deadline — so concurrent evaluators stay
-		// bounded by MaxConcurrentQueries.
-		defer func() { <-s.querySem }()
+		// bounded, and its release tells the guard how the dataset
+		// actually behaved: a success that blew the deadline counts as
+		// a timeout, because that is what the client experienced.
+		computeStart := time.Now()
+		var injected time.Duration
+		finish := func(err error) {
+			lat := time.Since(computeStart) + injected
+			out := outcomeFor(err)
+			if out == overload.Success && lat > s.opts.QueryTimeout {
+				out = overload.Timeout
+			}
+			permit.Release(out, lat)
+		}
+		if s.opts.FaultHook != nil {
+			delay, err := s.opts.FaultHook("query", d.name)
+			injected = delay
+			if err != nil {
+				finish(err)
+				done <- outcome{nil, err}
+				return
+			}
+		}
 		eval, err := d.pool.Get()
 		if err != nil {
+			finish(err)
 			done <- outcome{nil, err}
 			return
 		}
 		res, err := d.miner.QueryWith(eval, point, exclude)
 		d.pool.Put(eval)
 		if err != nil {
+			finish(err)
 			done <- outcome{nil, err}
 			return
 		}
@@ -474,21 +519,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		d.cache.put(key, toCache)
 		s.stats.addODEvals(res.ODEvaluations)
+		finish(nil)
 		done <- outcome{resp, nil}
 	}()
 
 	select {
-	case <-r.Context().Done():
-		s.clientGone(w, "query")
-		return
-	case <-deadline.C:
+	case <-queryCtx.Done():
+		if r.Context().Err() != nil {
+			s.clientGone(w, "query")
+			return
+		}
 		s.error(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("query exceeded the %s deadline", s.opts.QueryTimeout))
 		return
 	case o := <-done:
 		if o.err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(o.err, core.ErrNotPreprocessed) {
+			switch {
+			case errors.Is(o.err, core.ErrNotPreprocessed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(o.err, context.DeadlineExceeded):
+				// An injected or engine-level timeout is a capacity
+				// signal, same as the handler's own deadline firing.
 				status = http.StatusServiceUnavailable
 			}
 			s.error(w, status, o.err.Error())
@@ -517,6 +569,9 @@ type scanPlan struct {
 	maxResults     int
 	workers        int
 	sortBySeverity bool
+	// hook is the fault-injection point (Options.FaultHook bound to
+	// this dataset); nil outside the test harness.
+	hook func() (time.Duration, error)
 }
 
 // planScan decodes and validates a scanRequest, writing the 4xx
@@ -552,12 +607,22 @@ func (s *Server) planScan(w http.ResponseWriter, r *http.Request) (*scanPlan, bo
 	if workers == 0 || workers > maxWorkers {
 		workers = maxWorkers
 	}
-	return &scanPlan{d: d, maxResults: maxResults, workers: workers, sortBySeverity: req.SortBySeverity}, true
+	plan := &scanPlan{d: d, maxResults: maxResults, workers: workers, sortBySeverity: req.SortBySeverity}
+	if fh := s.opts.FaultHook; fh != nil {
+		name := d.name
+		plan.hook = func() (time.Duration, error) { return fh("scan", name) }
+	}
+	return plan, true
 }
 
 // run executes the plan and renders the response; onProgress may be
 // nil (the synchronous handler has nobody to report to).
 func (p *scanPlan) run(ctx context.Context, start time.Time, onProgress func(done, total int)) (*scanResponse, error) {
+	if p.hook != nil {
+		if _, err := p.hook(); err != nil {
+			return nil, err
+		}
+	}
 	hits, err := p.d.miner.ScanAllParallelContext(ctx, core.ScanOptions{
 		MaxResults:     p.maxResults,
 		SortBySeverity: p.sortBySeverity,
@@ -590,9 +655,16 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	select {
-	case s.scanSem <- struct{}{}:
-	default:
+	// Bulk traffic fails fast: a scan that cannot be admitted right now
+	// is the cheapest thing on the server to retry (or to re-route
+	// through the async job path).
+	permit, rej := plan.d.guard.Admit(r.Context(), overload.Bulk, false)
+	if rej != nil {
+		if rej.Reason == overload.ReasonBreakerOpen {
+			s.shedBreakerOpen(w, plan.d.name, rej)
+			return
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(overload.RetryAfterSeconds(rej.RetryAfter)))
 		s.error(w, http.StatusTooManyRequests,
 			fmt.Sprintf("scan limit (%d concurrent) reached, retry later (or submit via POST /jobs/scan)", s.opts.MaxConcurrentScans))
 		return
@@ -617,8 +689,8 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	quit := make(chan struct{})
 	defer close(quit)
 	go func() {
-		defer func() { <-s.scanSem }()
 		resp, err := plan.run(ctx, start, nil)
+		permit.Release(outcomeFor(err), time.Since(start))
 		select {
 		case done <- outcome{resp, err}:
 		case <-quit:
@@ -814,6 +886,33 @@ func (s *Server) registryError(w http.ResponseWriter, err error) {
 	default:
 		s.error(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// outcomeFor classifies a finished computation's error for the
+// overload guard: deadline → Timeout (the breaker's primary trip
+// signal), cancellation → Cancelled (the client's doing, neutral),
+// anything else → Errored.
+func outcomeFor(err error) overload.Outcome {
+	switch {
+	case err == nil:
+		return overload.Success
+	case errors.Is(err, context.DeadlineExceeded):
+		return overload.Timeout
+	case errors.Is(err, context.Canceled):
+		return overload.Cancelled
+	default:
+		return overload.Errored
+	}
+}
+
+// shedBreakerOpen answers a request rejected by an open (or probing)
+// circuit breaker: 503 with a Retry-After derived from the remaining
+// cool-down, floored at 1s by the shared header helper.
+func (s *Server) shedBreakerOpen(w http.ResponseWriter, dataset string, rej *overload.Rejection) {
+	retry := overload.RetryAfterSeconds(rej.RetryAfter)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	s.error(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("dataset %q is shedding load (circuit breaker open), retry in ~%ds", dataset, retry))
 }
 
 // clientGone reports a request whose own client closed the connection

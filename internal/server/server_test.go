@@ -15,7 +15,34 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/overload"
 )
+
+// occupySlot takes one admission slot of the dataset's guard directly
+// — the test stand-in for a computation that is holding its permit —
+// and returns the release. It bypasses the guard's ledger, so the
+// admitted+shed==received invariant over HTTP requests is untouched.
+func occupySlot(t *testing.T, s *Server, pri overload.Priority) func() {
+	t.Helper()
+	if err := s.def.guard.Limiter().Acquire(context.Background(), pri, false); err != nil {
+		t.Fatalf("occupying %s slot: %v", pri, err)
+	}
+	return func() { s.def.guard.Limiter().Release(pri, overload.Cancelled, 0) }
+}
+
+// waitIdle polls until the dataset's guard shows no in-flight
+// admissions — the sync point for permits released by goroutines that
+// outlive their handler.
+func waitIdle(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.def.guard.Snapshot().Limiter.Total != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("guard never returned to idle: a permit leaked")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 func newTestMiner(t *testing.T) *core.Miner {
 	t.Helper()
@@ -233,17 +260,26 @@ func TestQueryTimeoutRetryConverges(t *testing.T) {
 
 func TestQuerySheddingWhenSaturated(t *testing.T) {
 	s := newTestServer(t, Options{MaxConcurrentQueries: 1, QueryTimeout: 20 * time.Millisecond})
-	s.querySem <- struct{}{} // occupy the only compute slot
+	release := occupySlot(t, s, overload.Interactive) // occupy the only compute slot
 	rec := do(t, s.Handler(), "POST", "/query", `{"index": 0}`, nil)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated: status %d, want 503 (body %s)", rec.Code, rec.Body.String())
 	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("capacity shed carried no Retry-After header")
+	}
 	if s.def.cache.len() != 0 {
 		t.Fatal("shed request must not have computed anything")
 	}
-	<-s.querySem
+	release()
 	if rec := do(t, s.Handler(), "POST", "/query", `{"index": 0}`, nil); rec.Code != http.StatusOK {
 		t.Fatalf("after slot freed: status %d", rec.Code)
+	}
+	// The shed and the answer both landed in the dataset's ledger.
+	ov := s.Stats().Datasets[0].Overload
+	if ov.Received != 2 || ov.Admitted != 1 || ov.ShedCapacity != 1 {
+		t.Fatalf("ledger received/admitted/shed_capacity = %d/%d/%d, want 2/1/1",
+			ov.Received, ov.Admitted, ov.ShedCapacity)
 	}
 }
 
@@ -385,8 +421,8 @@ func TestScanClientCancelIsNot503(t *testing.T) {
 // up waiting).
 func TestQueryClientCancelIsNot503(t *testing.T) {
 	s := newTestServer(t, Options{MaxConcurrentQueries: 1, QueryTimeout: 10 * time.Second})
-	s.querySem <- struct{}{} // occupy the only compute slot
-	defer func() { <-s.querySem }()
+	release := occupySlot(t, s, overload.Interactive) // occupy the only compute slot
+	defer release()
 	ctx, cancel := context.WithCancel(context.Background())
 	req := httptest.NewRequest("POST", "/query", strings.NewReader(`{"index": 0}`)).WithContext(ctx)
 	rec := httptest.NewRecorder()
@@ -451,24 +487,21 @@ func TestScanTimeoutReleasesSlot(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body.String())
 	}
-	// The cancelled workers notice promptly and free the semaphore.
-	deadline := time.Now().Add(5 * time.Second)
-	for len(s.scanSem) != 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if len(s.scanSem) != 0 {
-		t.Fatal("abandoned scan never released its slot")
-	}
+	// The cancelled workers notice promptly and free the admission slot.
+	waitIdle(t, s)
 }
 
 func TestScanConcurrencyLimit(t *testing.T) {
 	s := newTestServer(t, Options{})
-	s.scanSem <- struct{}{} // occupy the single scan slot
+	release := occupySlot(t, s, overload.Bulk) // occupy the single scan slot
 	rec := do(t, s.Handler(), "POST", "/scan", `{}`, nil)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429 (body %s)", rec.Code, rec.Body.String())
 	}
-	<-s.scanSem
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("scan capacity shed carried no Retry-After header")
+	}
+	release()
 }
 
 func TestStateEndpoint(t *testing.T) {
@@ -831,12 +864,12 @@ func TestBatchDuplicatesShareODWork(t *testing.T) {
 
 func TestBatchConcurrencyLimit(t *testing.T) {
 	s := newTestServer(t, Options{MaxConcurrentBatches: 1, CacheSize: -1})
-	s.batchSem <- struct{}{} // occupy the single batch slot
+	release := occupySlot(t, s, overload.Batch) // occupy the single batch slot
 	rec := do(t, s.Handler(), "POST", "/batch", `{"items": [{"index": 0}]}`, nil)
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429 (body %s)", rec.Code, rec.Body.String())
 	}
-	<-s.batchSem
+	release()
 }
 
 func TestBatchTimeout(t *testing.T) {
@@ -847,13 +880,7 @@ func TestBatchTimeout(t *testing.T) {
 	}
 	// The cancelled batch frees its slot promptly (cancellation is
 	// noticed mid-search, not just between items).
-	deadline := time.Now().Add(5 * time.Second)
-	for len(s.batchSem) != 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if len(s.batchSem) != 0 {
-		t.Fatal("abandoned batch never released its slot")
-	}
+	waitIdle(t, s)
 }
 
 // TestConcurrentBatchesRace hammers /batch from many goroutines with

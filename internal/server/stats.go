@@ -194,9 +194,36 @@ type DatasetStats struct {
 	D       int    `json:"d"`
 	Shards  int    `json:"shards"`
 	Queries int64  `json:"queries"`
+	// Overload is the dataset's admission-guard state: breaker phase,
+	// current adaptive concurrency limit, and the shed ledger.
+	Overload OverloadStats `json:"overload"`
 	// PerShard is the cumulative per-shard k-NN work (nil for an
 	// unsharded dataset): one entry per shard.
 	PerShard []ShardStats `json:"per_shard,omitempty"`
+}
+
+// OverloadStats is one dataset's overload-guard section of /stats.
+// The ledger obeys received == admitted + shed and shed ==
+// shed_breaker_open + shed_capacity in every snapshot — the same
+// single-critical-section discipline as hits + misses == queries.
+type OverloadStats struct {
+	// BreakerState is "closed", "open" or "half_open"; BreakerOpens
+	// counts cumulative trips.
+	BreakerState string `json:"breaker_state"`
+	BreakerOpens int64  `json:"breaker_opens"`
+	// ConcurrencyLimit is the current adaptive limit (AIMD-controlled,
+	// between the configured min and max); InFlight is total admitted
+	// requests currently computing across all classes.
+	ConcurrencyLimit int `json:"concurrency_limit"`
+	InFlight         int `json:"in_flight"`
+	// P99Ms is the windowed interactive p99 the limiter steers by.
+	P99Ms float64 `json:"latency_p99_ms"`
+	// The admission ledger.
+	Received        int64 `json:"received"`
+	Admitted        int64 `json:"admitted"`
+	Shed            int64 `json:"shed"`
+	ShedBreakerOpen int64 `json:"shed_breaker_open"`
+	ShedCapacity    int64 `json:"shed_capacity"`
 }
 
 // ShardStats is one shard's point count and cumulative search work.
