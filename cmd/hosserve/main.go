@@ -46,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,7 +71,8 @@ func main() {
 
 // cliConfig is everything run parses out of the flags.
 type cliConfig struct {
-	addr string
+	addr      string
+	pprofAddr string
 
 	dataPath  string
 	gen       string
@@ -118,9 +120,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "saved state to %s\n", cc.saveState)
 	}
 
+	if cc.pprofAddr != "" {
+		stopPprof, err := startPprof(cc.pprofAddr, stdout)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, cc.addr, srv, cc.jobDrain, stdout)
+}
+
+// pprofMux is the debug surface served on -pprof-addr: the standard
+// net/http/pprof handlers on a mux of their own, so profiling never
+// rides on the public API listener and can be bound to localhost
+// while the service listens on all interfaces.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startPprof serves the pprof mux on addr until the returned stop
+// function is called. A listen failure is a startup error — an
+// operator who asked for profiling must not silently run without it.
+func startPprof(addr string, stdout io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	s := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.Serve(ln) }()
+	fmt.Fprintf(stdout, "pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { _ = s.Close() }, nil
 }
 
 // parseFlags builds a cliConfig from the argument list.
@@ -137,6 +175,7 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	var cc cliConfig
 	var backend, policy, partitioner string
 	fs.StringVar(&cc.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cc.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	fs.StringVar(&cc.dataPath, "data", "", "CSV dataset path (use -data or -gen)")
 	fs.StringVar(&cc.gen, "gen", "", "generate the dataset instead: synthetic|uniform|athlete|medical|nba")
 	fs.IntVar(&cc.n, "n", 1000, "with -gen: number of points")

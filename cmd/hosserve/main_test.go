@@ -512,3 +512,56 @@ func TestWarmStartRegistersUnderFileStem(t *testing.T) {
 		t.Fatalf("stored name registered despite rename: %d", rec.Code)
 	}
 }
+
+// TestPprofEndpoint smoke-tests the -pprof-addr debug listener: it
+// comes up on its own port, serves the pprof index and a profile, and
+// the stop function tears it down.
+func TestPprofEndpoint(t *testing.T) {
+	var out lockedBuffer
+	stop, err := startPprof("127.0.0.1:0", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	m := regexp.MustCompile(`pprof on http://(\S+)/debug/pprof/`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("startPprof did not report its address: %q", out.String())
+	}
+	base := "http://" + m[1]
+
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body[:n]), "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %q", string(body[:n]))
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile: %d", resp.StatusCode)
+	}
+
+	stop()
+	if _, err := http.Get(base + "/debug/pprof/"); err == nil {
+		t.Fatal("pprof listener still up after stop")
+	}
+}
+
+// TestPprofFlagRejectsBadAddr: an unusable -pprof-addr is a startup
+// error, not a silent no-profiling run.
+func TestPprofFlagRejectsBadAddr(t *testing.T) {
+	if _, err := startPprof("256.256.256.256:99999", new(lockedBuffer)); err == nil {
+		t.Fatal("startPprof accepted an unusable address")
+	}
+}

@@ -116,11 +116,12 @@ func LOF(ds *vector.Dataset, searcher knn.Searcher, s subspace.Mask, minPts int)
 	}
 	n := ds.N()
 
-	// Pass 1: k-NN sets, k-distances.
+	// Pass 1: k-NN sets, k-distances. KNN results alias the searcher's
+	// scratch, so each set is copied before the next query overwrites it.
 	neighbors := make([][]knn.Neighbor, n)
 	kDist := make([]float64, n)
 	for i := 0; i < n; i++ {
-		nbs := searcher.KNN(ds.Point(i), s, minPts, i)
+		nbs := append([]knn.Neighbor(nil), searcher.KNN(ds.Point(i), s, minPts, i)...)
 		neighbors[i] = nbs
 		if len(nbs) > 0 {
 			kDist[i] = nbs[len(nbs)-1].Dist

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/od"
+	"repro/internal/subspace"
 )
 
 // This file is the batch query engine: many outlying-subspace queries
@@ -56,15 +57,26 @@ func (q BatchQuery) ExternalPoint() ([]float64, bool) { return q.point, q.kind =
 // noted on each field.
 type BatchOptions struct {
 	// Workers is the evaluation fan-out (≤ 0 selects GOMAXPROCS;
-	// always clamped to the batch size).
+	// always clamped to the batch size). At Workers = 1 the batch runs
+	// inline on the calling goroutine — no fan-out machinery at all.
 	Workers int
 	// CacheCapacity bounds the shared per-batch OD cache in entries
 	// (0 = od.DefaultSharedCacheCapacity; negative disables sharing,
 	// leaving each item with only its private per-query cache).
 	CacheCapacity int
 	// Pool, when non-nil, supplies worker evaluators (e.g. a serving
-	// layer's long-lived pool); nil builds a pool for this batch.
+	// layer's long-lived pool); nil uses the Miner's shared default
+	// pool, so back-to-back batches reuse warmed evaluators.
 	Pool *EvaluatorPool
+	// Reuse, when non-nil, recycles a previous batch's result storage
+	// (item table, per-item result structs and the mask/int/float
+	// arenas behind their slices) instead of allocating fresh — the
+	// zero-allocation steady state for callers that fully consume each
+	// BatchResult before issuing the next batch. The returned
+	// *BatchResult is then Reuse itself, and every slice handed out by
+	// the previous batch is invalidated. After an error return the
+	// recycled storage is in an unspecified state; do not read it.
+	Reuse *BatchResult
 }
 
 // BatchItemResult is the outcome of one batch item: exactly one of
@@ -89,7 +101,10 @@ type BatchCacheStats struct {
 }
 
 // BatchResult is the outcome of a QueryBatch: per-item results in
-// input order plus batch-wide accounting.
+// input order plus batch-wide accounting. Item results are copied out
+// of the workers' evaluator scratch into storage owned by the
+// BatchResult, so they stay valid for as long as the caller keeps it
+// (or until it is recycled via BatchOptions.Reuse).
 type BatchResult struct {
 	// Items has exactly one entry per input query, in input order.
 	Items []BatchItemResult
@@ -98,6 +113,97 @@ type BatchResult struct {
 	Failed    int
 	// Cache is the shared OD cache accounting.
 	Cache BatchCacheStats
+
+	// Recycled storage (see BatchOptions.Reuse): the per-item result
+	// structs Items point into and the per-worker arenas their slices
+	// are carved from.
+	results []QueryResult
+	arenas  []resultArena
+}
+
+// reset prepares the result for a batch of n items over the given
+// worker count, reusing existing capacity.
+func (r *BatchResult) reset(n, workers int) {
+	if cap(r.Items) < n {
+		r.Items = make([]BatchItemResult, n)
+	} else {
+		r.Items = r.Items[:n]
+		clear(r.Items)
+	}
+	if cap(r.results) < n {
+		r.results = make([]QueryResult, n)
+	} else {
+		r.results = r.results[:n]
+	}
+	for len(r.arenas) < workers {
+		r.arenas = append(r.arenas, resultArena{})
+	}
+	for i := range r.arenas {
+		r.arenas[i].reset()
+	}
+	r.Succeeded, r.Failed = 0, 0
+	r.Cache = BatchCacheStats{}
+}
+
+// resultArena is append-only backing storage for the slices of one
+// worker's item results. Growth may reallocate the arena slice, but
+// previously handed-out sub-slices keep pointing at the old backing
+// array, which stays alive through them — so earlier items are never
+// invalidated mid-batch.
+type resultArena struct {
+	masks  []subspace.Mask
+	ints   []int
+	floats []float64
+}
+
+func (a *resultArena) reset() {
+	a.masks = a.masks[:0]
+	a.ints = a.ints[:0]
+	a.floats = a.floats[:0]
+}
+
+// Shared zero-length backings so cloning an empty-but-non-nil slice
+// preserves its shape without touching the arena.
+var (
+	emptyMasks  = make([]subspace.Mask, 0)
+	emptyInts   = make([]int, 0)
+	emptyFloats = make([]float64, 0)
+)
+
+func (a *resultArena) cloneMasks(src []subspace.Mask) []subspace.Mask {
+	if src == nil {
+		return nil
+	}
+	if len(src) == 0 {
+		return emptyMasks
+	}
+	start := len(a.masks)
+	a.masks = append(a.masks, src...)
+	return a.masks[start:len(a.masks):len(a.masks)]
+}
+
+func (a *resultArena) cloneInts(src []int) []int {
+	if src == nil {
+		return nil
+	}
+	if len(src) == 0 {
+		return emptyInts
+	}
+	start := len(a.ints)
+	a.ints = append(a.ints, src...)
+	return a.ints[start:len(a.ints):len(a.ints)]
+}
+
+func (a *resultArena) cloneFloats(src []float64) []float64 {
+	if src == nil {
+		return nil
+	}
+	if len(src) == 0 {
+		return emptyFloats
+	}
+	start := len(a.floats)
+	a.floats = append(a.floats, src...)
+	return a.floats[start:len(a.floats):len(a.floats)]
 }
 
 // QueryBatch evaluates many outlying-subspace queries as one unit of
@@ -123,10 +229,6 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 	if err := m.Preprocess(); err != nil {
 		return nil, err
 	}
-	res := &BatchResult{Items: make([]BatchItemResult, len(queries))}
-	if len(queries) == 0 {
-		return res, nil
-	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -134,46 +236,74 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	pool := opts.Pool
-	if pool == nil {
-		pool = m.NewEvaluatorPool()
+	// res and pool are captured by the worker goroutines below; keeping
+	// them single-assignment lets the compiler capture them by value
+	// instead of boxing the variables on the heap every call.
+	res := resultFor(opts.Reuse)
+	res.reset(len(queries), workers)
+	if len(queries) == 0 {
+		return res, nil
 	}
-	shared := od.NewSharedCache(opts.CacheCapacity)
+	pool := m.poolFor(opts.Pool)
+	shared := m.sharedCacheFor(opts.CacheCapacity)
+	defer m.releaseSharedCache(shared)
 
-	var next atomic.Int64
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			eval, err := pool.Get()
-			if err != nil {
-				errs[worker] = err
-				return
-			}
-			defer pool.Put(eval)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					errs[worker] = err
-					return
-				}
-				res.Items[i] = m.batchOne(ctx, eval, queries[i], shared)
-				if err := ctx.Err(); err != nil {
-					errs[worker] = err
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if workers == 1 {
+		// Inline path: no goroutines, no WaitGroup — the calling
+		// goroutine is the one worker. This is both the GOMAXPROCS=1
+		// default and the deterministic zero-allocation steady state.
+		eval, err := pool.Get()
 		if err != nil {
 			return nil, err
+		}
+		defer pool.Put(eval)
+		arena := &res.arenas[0]
+		for i := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res.Items[i] = m.batchOne(ctx, eval, queries[i], shared, arena, &res.results[i])
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var next atomic.Int64
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				eval, err := pool.Get()
+				if err != nil {
+					errs[worker] = err
+					return
+				}
+				defer pool.Put(eval)
+				arena := &res.arenas[worker]
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(queries) {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[worker] = err
+						return
+					}
+					res.Items[i] = m.batchOne(ctx, eval, queries[i], shared, arena, &res.results[i])
+					if err := ctx.Err(); err != nil {
+						errs[worker] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, item := range res.Items {
@@ -193,8 +323,53 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 	return res, nil
 }
 
-// batchOne validates and evaluates a single batch item.
-func (m *Miner) batchOne(ctx context.Context, eval *od.Evaluator, q BatchQuery, shared *od.SharedCache) BatchItemResult {
+// resultFor returns the result to fill: the caller's recycled one, or
+// a fresh BatchResult.
+func resultFor(reuse *BatchResult) *BatchResult {
+	if reuse == nil {
+		return &BatchResult{}
+	}
+	return reuse
+}
+
+// poolFor returns the evaluator pool to borrow from: the caller's, or
+// the Miner's lazily built default.
+func (m *Miner) poolFor(p *EvaluatorPool) *EvaluatorPool {
+	if p != nil {
+		return p
+	}
+	m.defaultPoolOnce.Do(func() { m.defaultPool = m.NewEvaluatorPool() })
+	return m.defaultPool
+}
+
+// sharedCacheFor borrows a pooled per-batch OD cache (capacity ≥ 0),
+// or returns nil when capacity is negative (sharing disabled).
+func (m *Miner) sharedCacheFor(capacity int) *od.SharedCache {
+	if capacity < 0 {
+		return nil
+	}
+	if v := m.cachePool.Get(); v != nil {
+		c := v.(*od.SharedCache)
+		c.Reset(capacity)
+		return c
+	}
+	return od.NewSharedCache(capacity)
+}
+
+// releaseSharedCache returns a borrowed cache to the pool. Safe at
+// the end of a batch: BatchResult carries only a stats snapshot, the
+// workers have all exited.
+func (m *Miner) releaseSharedCache(c *od.SharedCache) {
+	if c != nil {
+		m.cachePool.Put(c)
+	}
+}
+
+// batchOne validates and evaluates a single batch item, copying the
+// evaluator-scratch result into slot with its slices carved from the
+// worker's arena — the item result then lives as long as the
+// BatchResult, independent of the evaluator's next query.
+func (m *Miner) batchOne(ctx context.Context, eval *od.Evaluator, q BatchQuery, shared *od.SharedCache, arena *resultArena, slot *QueryResult) BatchItemResult {
 	var point []float64
 	exclude := -1
 	switch q.kind {
@@ -216,5 +391,10 @@ func (m *Miner) batchOne(ctx context.Context, eval *od.Evaluator, q BatchQuery, 
 	if err != nil {
 		return BatchItemResult{Err: err}
 	}
-	return BatchItemResult{Result: r}
+	*slot = *r
+	slot.Outlying = arena.cloneMasks(r.Outlying)
+	slot.Minimal = arena.cloneMasks(r.Minimal)
+	slot.LayerOrder = arena.cloneInts(r.LayerOrder)
+	slot.PerLayerOutlierFrac = arena.cloneFloats(r.PerLayerOutlierFrac)
+	return BatchItemResult{Result: slot}
 }

@@ -51,8 +51,35 @@ func BenchmarkQueryWith(b *testing.B) {
 }
 
 // BenchmarkQueryBatchCore is the batch engine over the same miner —
-// per-item cost with the shared OD cache absorbing duplicates.
+// per-item cost with the shared OD cache absorbing duplicates. Pinned
+// to one worker with result reuse so the figure is deterministic
+// across GOMAXPROCS and reflects the engine's zero-allocation steady
+// state; BenchmarkQueryBatchParallel below measures the default
+// fan-out configuration.
 func BenchmarkQueryBatchCore(b *testing.B) {
+	m := benchMiner(b, 0)
+	queries := make([]BatchQuery, 64)
+	for i := range queries {
+		queries[i] = BatchIndex(i % 32) // half duplicates
+	}
+	opts := BatchOptions{Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.QueryBatch(context.Background(), queries, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatal("batch items failed")
+		}
+		opts.Reuse = res
+	}
+}
+
+// BenchmarkQueryBatchParallel is the batch engine as the server runs
+// it: default worker fan-out, fresh result per batch.
+func BenchmarkQueryBatchParallel(b *testing.B) {
 	m := benchMiner(b, 0)
 	queries := make([]BatchQuery, 64)
 	for i := range queries {

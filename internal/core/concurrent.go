@@ -47,6 +47,13 @@ func (m *Miner) NewWorkerEvaluator() (*od.Evaluator, error) {
 // index of the point when it is a dataset member (so it never counts
 // as its own neighbour) and -1 for external points.
 //
+// Ownership: the returned QueryResult (including its mask slices) is
+// backed by the evaluator's reusable scratch — in steady state a
+// QueryWith call allocates nothing. It stays valid only until the
+// next query run on the same evaluator (including returning the
+// evaluator to a pool); callers that retain it longer must
+// QueryResult.Clone it first.
+//
 // Unlike OutlyingSubspaces, QueryWith never triggers lazy
 // preprocessing; it fails with ErrNotPreprocessed instead. Any number
 // of QueryWith calls may run concurrently with each other and with
@@ -72,23 +79,42 @@ func (m *Miner) QueryWith(eval *od.Evaluator, point []float64, exclude int) (*Qu
 // optionally consulting a batch-wide OD cache. PolicyRandom draws a
 // per-call deterministic rng from the atomic query sequence — the
 // Miner's own rand.Rand is not shareable across goroutines.
+//
+// The result lives in the evaluator's search scratch (see
+// scratchFor): it is valid until the next searchOne on the same
+// evaluator, which is exactly the zero-allocation steady state the
+// serving path runs in.
 func (m *Miner) searchOne(ctx context.Context, eval *od.Evaluator, point []float64, exclude int, shared *od.SharedCache) (*QueryResult, error) {
 	rng := m.rng
 	if m.cfg.Policy == PolicyRandom {
 		rng = newDeterministicRng(m.cfg.Seed, m.querySeq.Add(1))
 	}
-	q := eval.NewSharedQuery(point, exclude, shared)
-	res, err := SearchContext(ctx, q, m.ds.Dim(), m.threshold, m.priors, m.cfg.Policy, rng)
-	if err != nil {
+	sc := scratchFor(eval)
+	q := eval.BorrowQuery(point, exclude, shared)
+	if err := searchInto(ctx, sc, q, m.ds.Dim(), m.threshold, m.priors, m.cfg.Policy, rng); err != nil {
 		return nil, err
 	}
 	_, misses := q.CacheStats()
-	return &QueryResult{
-		SearchResult:      *res,
+	sc.qres = QueryResult{
+		SearchResult:      sc.sres,
 		Threshold:         m.threshold,
 		ODEvaluations:     misses,
-		IsOutlierAnywhere: len(res.Outlying) > 0,
-	}, nil
+		IsOutlierAnywhere: len(sc.sres.Outlying) > 0,
+	}
+	return &sc.qres, nil
+}
+
+// scratchFor returns the evaluator's resident search scratch,
+// attaching a fresh one on first use. The scratch rides along with
+// pooled evaluators, so its tracker and buffers stay warm across
+// borrows.
+func scratchFor(eval *od.Evaluator) *searchScratch {
+	if sc, ok := eval.Scratch().(*searchScratch); ok {
+		return sc
+	}
+	sc := &searchScratch{}
+	eval.SetScratch(sc)
+	return sc
 }
 
 // QueryPointWith is QueryWith for dataset member idx.

@@ -121,12 +121,16 @@ func TestQueryWithConcurrent(t *testing.T) {
 					return
 				}
 				got, err := m.QueryPointWith(eval, i)
-				pool.Put(eval)
 				if err != nil {
+					pool.Put(eval)
 					errCh <- err
 					return
 				}
-				if !reflect.DeepEqual(got.Outlying, want[i].Outlying) {
+				// The result lives in the evaluator's scratch: read it
+				// before handing the evaluator back to the pool.
+				match := reflect.DeepEqual(got.Outlying, want[i].Outlying)
+				pool.Put(eval)
+				if !match {
 					errCh <- errors.New("concurrent result diverged from sequential")
 					return
 				}

@@ -29,6 +29,21 @@ func MinimalSubspaces(outlying []subspace.Mask) []subspace.Mask {
 	return kept
 }
 
+// appendMinimalSorted is the scratch-reusing core of MinimalSubspaces
+// for input that is already canonically sorted (ascending cardinality,
+// then mask — the order lattice.Tracker.AppendOutliers produces): it
+// appends the kept subspaces to dst and returns the extended slice,
+// allocating only when dst lacks capacity.
+func appendMinimalSorted(dst []subspace.Mask, sorted []subspace.Mask) []subspace.Mask {
+	base := len(dst)
+	for _, s := range sorted {
+		if !coveredBy(s, dst[base:]) {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
 // coveredBy reports whether s is a (proper or equal) superset of any
 // kept subspace.
 func coveredBy(s subspace.Mask, kept []subspace.Mask) bool {

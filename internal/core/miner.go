@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/knn"
@@ -180,6 +181,17 @@ type Miner struct {
 	// querySeq numbers QueryWith calls so PolicyRandom stays
 	// deterministic per (seed, call) without sharing rng.
 	querySeq atomic.Int64
+
+	// defaultPool lazily serves QueryBatch calls that bring no pool of
+	// their own, so back-to-back batches reuse warmed evaluators
+	// instead of rebuilding them per batch.
+	defaultPool     *EvaluatorPool
+	defaultPoolOnce sync.Once
+
+	// cachePool recycles per-batch shared OD caches (cleared between
+	// batches; the BatchResult only carries a stats snapshot, never
+	// the cache itself).
+	cachePool sync.Pool
 }
 
 // LearnStats summarises the §3.2 learning phase.
@@ -371,6 +383,9 @@ func (m *Miner) Preprocess() error {
 }
 
 // QueryResult is what a caller receives for one query point.
+//
+// Results from the scratch-backed paths (QueryWith, QueryPointWith)
+// alias their evaluator's reusable buffers; Clone detaches them.
 type QueryResult struct {
 	SearchResult
 	// Threshold is the effective T the search used.
@@ -382,6 +397,37 @@ type QueryResult struct {
 	// least one subspace (the paper: "if the answer set is empty for
 	// p, we say that p is not an outlier in any subspace").
 	IsOutlierAnywhere bool
+}
+
+// Clone returns a deep copy whose slices are independently owned —
+// the way to retain a QueryWith result beyond the next query on the
+// same evaluator. Nil and empty slices keep their shape.
+func (r *QueryResult) Clone() *QueryResult {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Outlying = cloneMasks(r.Outlying)
+	out.Minimal = cloneMasks(r.Minimal)
+	if r.LayerOrder != nil {
+		out.LayerOrder = make([]int, len(r.LayerOrder))
+		copy(out.LayerOrder, r.LayerOrder)
+	}
+	if r.PerLayerOutlierFrac != nil {
+		out.PerLayerOutlierFrac = make([]float64, len(r.PerLayerOutlierFrac))
+		copy(out.PerLayerOutlierFrac, r.PerLayerOutlierFrac)
+	}
+	return &out
+}
+
+// cloneMasks copies a mask slice preserving nil-ness and emptiness.
+func cloneMasks(s []subspace.Mask) []subspace.Mask {
+	if s == nil {
+		return nil
+	}
+	out := make([]subspace.Mask, len(s))
+	copy(out, s)
+	return out
 }
 
 // OutlyingSubspaces finds every subspace in which the given point is

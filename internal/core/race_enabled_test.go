@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the -race build flag for tests that pin exact
+// allocation counts: race instrumentation allocates on its own, so
+// the zero-alloc budgets only hold in uninstrumented builds.
+const raceEnabled = true

@@ -93,37 +93,80 @@ const searchCtxStride = 16
 // within a layer, so an abandoned caller stops paying mid-point
 // instead of after finishing the current point's whole lattice. On
 // cancellation it returns ctx.Err().
+//
+// Each call runs on a fresh working set, so the returned result owns
+// its slices and may be retained indefinitely (the scan paths rely on
+// this). The pooled query path (QueryWith / QueryBatch) reuses a
+// per-evaluator scratch through searchInto instead.
 func SearchContext(ctx context.Context, q *od.Query, d int, T float64, priors Priors, policy Policy, rng *rand.Rand) (*SearchResult, error) {
+	sc := &searchScratch{}
+	if err := searchInto(ctx, sc, q, d, T, priors, policy, rng); err != nil {
+		return nil, err
+	}
+	res := sc.sres
+	return &res, nil
+}
+
+// searchScratch is the reusable working set of one evaluator's
+// dynamic searches: the lattice tracker (Reset per query instead of a
+// fresh 2^d status array), the result buffers the SearchResult fields
+// alias, and the QueryResult the concurrent query surface hands out.
+// Ownership rule: everything in here is valid until the next search
+// on the same scratch; results that outlive it must be cloned
+// (QueryResult.Clone) or copied into a caller-owned arena (QueryBatch).
+type searchScratch struct {
+	tracker *lattice.Tracker
+
+	outBuf   []subspace.Mask // backs sres.Outlying
+	minBuf   []subspace.Mask // backs sres.Minimal
+	layerBuf []int           // backs sres.LayerOrder
+	fracBuf  []float64       // backs sres.PerLayerOutlierFrac
+
+	sres SearchResult
+	qres QueryResult
+}
+
+// searchInto runs the dynamic subspace search into sc, filling
+// sc.sres with slices that alias the scratch buffers. It is the
+// engine behind both SearchContext (fresh scratch per call) and the
+// zero-allocation pooled path (per-evaluator scratch).
+func searchInto(ctx context.Context, sc *searchScratch, q *od.Query, d int, T float64, priors Priors, policy Policy, rng *rand.Rand) error {
 	if q == nil {
-		return nil, fmt.Errorf("core: nil query")
+		return fmt.Errorf("core: nil query")
 	}
 	if !policy.Valid() {
-		return nil, fmt.Errorf("core: invalid policy %v", policy)
+		return fmt.Errorf("core: invalid policy %v", policy)
 	}
 	if policy == PolicyRandom && rng == nil {
-		return nil, fmt.Errorf("core: PolicyRandom requires an rng")
+		return fmt.Errorf("core: PolicyRandom requires an rng")
 	}
 	if err := priors.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if priors.Dim() != d {
-		return nil, fmt.Errorf("core: priors built for d=%d, search dimensionality %d", priors.Dim(), d)
+		return fmt.Errorf("core: priors built for d=%d, search dimensionality %d", priors.Dim(), d)
 	}
-	tr, err := lattice.NewTracker(d)
-	if err != nil {
-		return nil, err
+	if sc.tracker == nil || sc.tracker.Dim() != d {
+		tr, err := lattice.NewTracker(d)
+		if err != nil {
+			return err
+		}
+		sc.tracker = tr
+	} else {
+		sc.tracker.Reset()
 	}
+	tr := sc.tracker
 
-	res := &SearchResult{}
+	sc.layerBuf = sc.layerBuf[:0]
 	for !tr.Done() {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		m, ok := nextLayer(tr, priors, policy, rng)
 		if !ok {
 			break // defensive: cannot happen while !Done
 		}
-		res.LayerOrder = append(res.LayerOrder, m)
+		sc.layerBuf = append(sc.layerBuf, m)
 		var ctxErr error
 		evals := 0
 		tr.EachUnknownInLayer(m, func(s subspace.Mask) bool {
@@ -142,18 +185,40 @@ func SearchContext(ctx context.Context, q *od.Query, d int, T float64, priors Pr
 			return true
 		})
 		if ctxErr != nil {
-			return nil, ctxErr
+			return ctxErr
 		}
 	}
 
-	res.Outlying = tr.Outliers()
-	res.Minimal = MinimalSubspaces(res.Outlying)
-	res.Counters = tr.Counters()
-	res.PerLayerOutlierFrac = make([]float64, d+1)
-	for m := 1; m <= d; m++ {
-		res.PerLayerOutlierFrac[m] = float64(tr.OutlierCountInLayer(m)) / float64(subspace.Binomial(d, m))
+	// Fill the result from the tracker, preserving the historical
+	// slice shapes: Outlying is always non-nil, Minimal is nil exactly
+	// when nothing is outlying.
+	if sc.outBuf == nil {
+		sc.outBuf = make([]subspace.Mask, 0, 16)
 	}
-	return res, nil
+	sc.outBuf = tr.AppendOutliers(sc.outBuf[:0])
+	sc.minBuf = appendMinimalSorted(sc.minBuf[:0], sc.outBuf)
+	if cap(sc.fracBuf) < d+1 {
+		sc.fracBuf = make([]float64, d+1)
+	}
+	sc.fracBuf = sc.fracBuf[:d+1]
+	clear(sc.fracBuf)
+	for _, s := range sc.outBuf {
+		sc.fracBuf[s.Card()]++
+	}
+	for m := 1; m <= d; m++ {
+		sc.fracBuf[m] /= float64(subspace.Binomial(d, m))
+	}
+
+	sc.sres = SearchResult{
+		Outlying:            sc.outBuf,
+		Counters:            tr.Counters(),
+		LayerOrder:          sc.layerBuf,
+		PerLayerOutlierFrac: sc.fracBuf,
+	}
+	if len(sc.outBuf) > 0 {
+		sc.sres.Minimal = sc.minBuf
+	}
+	return nil
 }
 
 // newDeterministicRng derives a per-worker RNG so concurrent scans

@@ -1,20 +1,33 @@
 package knn
 
-import "sort"
-
 // BoundedHeap keeps the k smallest (distance, index) pairs seen so
 // far. It is a hand-rolled binary max-heap on distance (ties: larger
 // index nearer the top, so the kept set is deterministic), avoiding
 // container/heap's interface overhead in the innermost loop of every
 // OD evaluation.
+//
+// Sorted drains the heap in place; afterwards the heap is in the
+// drained state and Push panics until Reset restores it. Reset keeps
+// the backing array, so a pooled heap reaches a steady state where
+// neither filling nor draining allocates.
 type BoundedHeap struct {
-	k     int
-	items []Neighbor // max-heap by (Dist, Index)
+	k       int
+	items   []Neighbor // max-heap by (Dist, Index); sorted ascending once drained
+	drained bool
 }
 
 // NewBoundedHeap creates a heap retaining the k nearest items.
 func NewBoundedHeap(k int) *BoundedHeap {
-	return &BoundedHeap{k: k, items: make([]Neighbor, 0, k)}
+	return &BoundedHeap{k: k, items: make([]Neighbor, 0, max(k, 0))}
+}
+
+// Reset returns the heap to the empty, undrained state with capacity
+// k, reusing the existing backing array. Results previously obtained
+// from Sorted are invalidated by the next Push.
+func (h *BoundedHeap) Reset(k int) {
+	h.k = k
+	h.items = h.items[:0]
+	h.drained = false
 }
 
 // less orders the heap: a dominates b (sits closer to the top) when a
@@ -27,8 +40,13 @@ func worse(a, b Neighbor) bool {
 }
 
 // Push offers a candidate. It is kept only if the heap is not yet full
-// or the candidate beats the current worst.
+// or the candidate beats the current worst. Push panics after Sorted:
+// a drained heap silently dropping candidates was a real bug source,
+// so reuse requires an explicit Reset.
 func (h *BoundedHeap) Push(index int, dist float64) {
+	if h.drained {
+		panic("knn: BoundedHeap.Push after Sorted drained the heap; call Reset(k) before reuse")
+	}
 	nb := Neighbor{Index: index, Dist: dist}
 	if len(h.items) < h.k {
 		h.items = append(h.items, nb)
@@ -39,7 +57,7 @@ func (h *BoundedHeap) Push(index int, dist float64) {
 		return // candidate is no better than the current worst
 	}
 	h.items[0] = nb
-	h.siftDown(0)
+	h.siftDown(0, len(h.items))
 }
 
 // Full reports whether k items are held.
@@ -58,18 +76,22 @@ func (h *BoundedHeap) WorstDist() (float64, bool) {
 	return h.items[0].Dist, true
 }
 
-// Sorted drains the heap into a slice sorted by ascending distance,
-// ties by ascending index. The heap must not be reused afterwards.
+// Sorted drains the heap in place into a slice sorted by ascending
+// distance, ties by ascending index. The returned slice aliases the
+// heap's backing array: it stays valid until the next Reset/Push, and
+// the heap must be Reset before it accepts candidates again.
 func (h *BoundedHeap) Sorted() []Neighbor {
-	out := h.items
-	h.items = nil
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].Index < out[j].Index
-	})
-	return out
+	h.drained = true
+	items := h.items
+	// In-place heapsort: repeatedly move the max (farthest) to the end.
+	// The comparator is a total order (indices are unique), so the
+	// result is deterministic and matches the sort.Slice ordering the
+	// drain previously used — without its closure allocation.
+	for n := len(items); n > 1; n-- {
+		items[0], items[n-1] = items[n-1], items[0]
+		h.siftDown(0, n-1)
+	}
+	return items
 }
 
 func (h *BoundedHeap) siftUp(i int) {
@@ -83,8 +105,9 @@ func (h *BoundedHeap) siftUp(i int) {
 	}
 }
 
-func (h *BoundedHeap) siftDown(i int) {
-	n := len(h.items)
+// siftDown restores the heap property at i within the first n items
+// (the bound lets the in-place heapsort shrink the heap as it drains).
+func (h *BoundedHeap) siftDown(i, n int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i

@@ -8,6 +8,7 @@ package knn
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/subspace"
 	"repro/internal/vector"
@@ -29,6 +30,14 @@ type Neighbor struct {
 //     ascending index;
 //   - return fewer than k neighbours only when the dataset (after
 //     exclusion) has fewer than k points.
+//
+// Ownership and concurrency: the returned slice is backed by the
+// searcher's reusable scratch — it stays valid only until the next
+// KNN call on the same searcher; callers that retain results must
+// copy them first. Consequently KNN itself is single-goroutine per
+// searcher (give each worker its own searcher over the shared
+// dataset/index), while Stats and ResetStats are safe to call
+// concurrently with a querying goroutine.
 type Searcher interface {
 	KNN(query []float64, s subspace.Mask, k int, exclude int) []Neighbor
 	// Stats returns cumulative work counters since construction (or
@@ -54,13 +63,61 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.NodesVisited += other.NodesVisited
 }
 
+// AtomicStats is the concurrency-safe counter set behind a Searcher's
+// Stats: querying goroutines Add while monitoring goroutines Snapshot,
+// without a data race (matching internal/shard's per-shard atomics).
+type AtomicStats struct {
+	Queries        atomic.Int64
+	PointsExamined atomic.Int64
+	NodesVisited   atomic.Int64
+}
+
+// Snapshot reads the counters into a plain SearchStats. Each counter
+// is read atomically; the triple is not a single consistent cut, which
+// is fine for monotonic work counters.
+func (a *AtomicStats) Snapshot() SearchStats {
+	return SearchStats{
+		Queries:        a.Queries.Load(),
+		PointsExamined: a.PointsExamined.Load(),
+		NodesVisited:   a.NodesVisited.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (a *AtomicStats) Reset() {
+	a.Queries.Store(0)
+	a.PointsExamined.Store(0)
+	a.NodesVisited.Store(0)
+}
+
+// Scratch is the reusable working set a searcher threads through every
+// KNN call: the decoded dimension indices of the query subspace and
+// the bounded result heap whose backing array carries the returned
+// neighbour slice. After the first few queries warm its buffers, a
+// searcher's steady state allocates nothing.
+type Scratch struct {
+	Dims []int
+	Heap BoundedHeap
+}
+
+// Begin prepares the scratch for one query: decodes s into Dims
+// (reusing its backing array) and resets the heap to capacity k. It
+// returns the decoded dimension indices.
+func (sc *Scratch) Begin(s subspace.Mask, k int) []int {
+	sc.Dims = s.AppendDims(sc.Dims[:0])
+	sc.Heap.Reset(k)
+	return sc.Dims
+}
+
 // LinearSearcher scans the entire dataset for every query. It is the
 // correctness oracle for index-backed searchers and the fastest choice
-// for small datasets.
+// for small datasets. See Searcher for the scratch-ownership and
+// concurrency contract.
 type LinearSearcher struct {
-	ds     *vector.Dataset
-	metric vector.Metric
-	stats  SearchStats
+	ds      *vector.Dataset
+	metric  vector.Metric
+	stats   AtomicStats
+	scratch Scratch
 }
 
 // NewLinear creates a LinearSearcher over ds using the given metric.
@@ -76,26 +133,32 @@ func NewLinear(ds *vector.Dataset, metric vector.Metric) (*LinearSearcher, error
 
 // KNN implements Searcher by exhaustive scan with a bounded max-heap.
 func (l *LinearSearcher) KNN(query []float64, s subspace.Mask, k int, exclude int) []Neighbor {
-	l.stats.Queries++
+	l.stats.Queries.Add(1)
 	if k <= 0 || s.IsEmpty() {
 		return nil
 	}
-	h := NewBoundedHeap(k)
+	dims := l.scratch.Begin(s, k)
+	h := &l.scratch.Heap
 	n := l.ds.N()
+	d := l.ds.Dim()
+	slab := l.ds.Slab()
 	useSq := l.metric == vector.L2
-	for i := 0; i < n; i++ {
+	examined := 0
+	for i, off := 0, 0; i < n; i, off = i+1, off+d {
 		if i == exclude {
 			continue
 		}
-		l.stats.PointsExamined++
-		var d float64
+		examined++
+		row := slab[off : off+d]
+		var dist float64
 		if useSq {
-			d = vector.SqDistL2(s, query, l.ds.Point(i))
+			dist = vector.SqDistL2Dims(dims, query, row)
 		} else {
-			d = vector.Dist(l.metric, s, query, l.ds.Point(i))
+			dist = vector.DistDims(l.metric, dims, query, row)
 		}
-		h.Push(i, d)
+		h.Push(i, dist)
 	}
+	l.stats.PointsExamined.Add(int64(examined))
 	res := h.Sorted()
 	if useSq {
 		for i := range res {
@@ -106,10 +169,10 @@ func (l *LinearSearcher) KNN(query []float64, s subspace.Mask, k int, exclude in
 }
 
 // Stats implements Searcher.
-func (l *LinearSearcher) Stats() SearchStats { return l.stats }
+func (l *LinearSearcher) Stats() SearchStats { return l.stats.Snapshot() }
 
 // ResetStats implements Searcher.
-func (l *LinearSearcher) ResetStats() { l.stats = SearchStats{} }
+func (l *LinearSearcher) ResetStats() { l.stats.Reset() }
 
 // SumDistances returns Σ Dist over the neighbours — the Outlying
 // Degree aggregation from §2.

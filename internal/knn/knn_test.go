@@ -93,7 +93,9 @@ func TestKNNSubspaceSensitivity(t *testing.T) {
 	})
 	ls, _ := NewLinear(ds, vector.L2)
 	q := ds.Point(3)
-	inDim0 := ls.KNN(q, subspace.New(0), 1, 3)
+	// KNN results alias searcher scratch: copy the first before the
+	// second call invalidates it.
+	inDim0 := append([]Neighbor(nil), ls.KNN(q, subspace.New(0), 1, 3)...)
 	inDim1 := ls.KNN(q, subspace.New(1), 1, 3)
 	if inDim0[0].Dist < 99 {
 		t.Fatalf("dim0 nearest = %v, should be far", inDim0[0])

@@ -102,6 +102,21 @@ func NewTracker(d int) (*Tracker, error) {
 // Dim returns the dimensionality of the tracked lattice.
 func (t *Tracker) Dim() int { return t.d }
 
+// Reset returns the tracker to the all-Unknown state for the same
+// dimensionality, reusing its allocations. It is the pooled-reuse
+// path: one tracker per worker, Reset per query, instead of a fresh
+// 2^d status array per query.
+func (t *Tracker) Reset() {
+	clear(t.status)
+	t.unknownTotal = 0
+	t.unknownPerLayer[0] = 0
+	for m := 1; m <= t.d; m++ {
+		t.unknownPerLayer[m] = subspace.Binomial(t.d, m)
+		t.unknownTotal += t.unknownPerLayer[m]
+	}
+	t.evaluations, t.impliedUp, t.impliedDown, t.outlierCount = 0, 0, 0, 0
+}
+
 // Status returns the current status of subspace s.
 func (t *Tracker) Status(s subspace.Mask) Status {
 	t.check(s)
@@ -267,15 +282,47 @@ func (t *Tracker) EachUnknownInLayer(m int, fn func(subspace.Mask) bool) {
 // Outliers returns every subspace currently known to be outlying
 // (evaluated or implied), sorted by ascending cardinality then mask.
 func (t *Tracker) Outliers() []subspace.Mask {
-	out := make([]subspace.Mask, 0, t.outlierCount)
-	subspace.EachAll(t.d, func(s subspace.Mask) bool {
-		if t.status[s].IsOutlier() {
-			out = append(out, s)
+	return t.AppendOutliers(make([]subspace.Mask, 0, t.outlierCount))
+}
+
+// AppendOutliers appends every known-outlying subspace to dst in the
+// canonical (ascending cardinality, then ascending mask) order —
+// exactly what SortMasks would produce — and returns the extended
+// slice. It is closure- and sort-free: a counting pass over the dense
+// status array bins outliers by cardinality, a placement pass writes
+// them in order. With a large enough dst it performs no allocation,
+// which is what the zero-alloc query path relies on.
+func (t *Tracker) AppendOutliers(dst []subspace.Mask) []subspace.Mask {
+	var perCard [subspace.MaxDim + 1]int
+	total := 0
+	for v := 1; v < len(t.status); v++ {
+		if t.status[v].IsOutlier() {
+			perCard[subspace.Mask(v).Card()]++
+			total++
 		}
-		return true
-	})
-	subspace.SortMasks(out)
-	return out
+	}
+	base := len(dst)
+	need := base + total
+	if cap(dst) < need {
+		grown := make([]subspace.Mask, need)
+		copy(grown, dst)
+		dst = grown[:base]
+	}
+	dst = dst[:need]
+	var offsets [subspace.MaxDim + 1]int
+	off := base
+	for c := 1; c <= t.d; c++ {
+		offsets[c] = off
+		off += perCard[c]
+	}
+	for v := 1; v < len(t.status); v++ {
+		if t.status[v].IsOutlier() {
+			c := subspace.Mask(v).Card()
+			dst[offsets[c]] = subspace.Mask(v)
+			offsets[c]++
+		}
+	}
+	return dst
 }
 
 // OutlierCountInLayer returns how many cardinality-m subspaces are

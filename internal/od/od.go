@@ -48,6 +48,8 @@ func (n Normalization) String() string {
 }
 
 // Evaluator computes OD values for query points against a dataset.
+// An Evaluator is single-goroutine (its searcher carries reusable
+// scratch); give each worker its own.
 type Evaluator struct {
 	ds       *vector.Dataset
 	searcher knn.Searcher
@@ -56,6 +58,13 @@ type Evaluator struct {
 	norm     Normalization
 
 	evaluations int64
+
+	// borrow is the reusable Query handed out by BorrowQuery.
+	borrow Query
+	// scratch is an opaque engine-owned working set (the core layer
+	// attaches its per-evaluator search scratch here so pooled
+	// evaluators carry it across queries).
+	scratch any
 }
 
 // NewEvaluator builds an Evaluator. searcher must be constructed over
@@ -94,6 +103,15 @@ func (e *Evaluator) Dataset() *vector.Dataset { return e.ds }
 // Evaluations returns how many OD computations were performed (cache
 // hits in Query excluded).
 func (e *Evaluator) Evaluations() int64 { return e.evaluations }
+
+// Scratch returns the engine-attached opaque scratch value, or nil.
+func (e *Evaluator) Scratch() any { return e.scratch }
+
+// SetScratch attaches an opaque per-evaluator scratch owned by the
+// engine layer above. The evaluator only stores it, so pooled
+// evaluators keep their warmed working sets without od depending on
+// engine types.
+func (e *Evaluator) SetScratch(v any) { e.scratch = v }
 
 // OD computes the outlying degree of an arbitrary point in subspace
 // s. exclude is the dataset index of the point itself when it is a
@@ -152,10 +170,12 @@ type Query struct {
 	exclude int
 	cache   map[subspace.Mask]float64
 
-	// shared is the optional batch-wide second-level cache; skey is
-	// this point's identity within it (computed once at construction).
-	shared *SharedCache
-	skey   string
+	// shared is the optional batch-wide second-level cache; skeyRow /
+	// skeyPoint are this point's identity within it (computed once at
+	// construction, see sharedKey).
+	shared    *SharedCache
+	skeyRow   int
+	skeyPoint string
 
 	hits       int64
 	misses     int64
@@ -180,7 +200,33 @@ func (e *Evaluator) NewSharedQuery(point []float64, exclude int, shared *SharedC
 	q := e.NewQuery(point, exclude)
 	if shared != nil {
 		q.shared = shared
-		q.skey = pointKey(q.point, exclude)
+		q.skeyRow, q.skeyPoint = pointIdentity(q.point, exclude)
+	}
+	return q
+}
+
+// BorrowQuery is the pooled counterpart of NewSharedQuery: it reuses
+// the evaluator's single resident Query — point buffer, cache map
+// (cleared, buckets retained) and counters — so a steady-state query
+// performs no per-query allocation. The returned Query is owned by
+// the evaluator and is valid only until the next BorrowQuery call on
+// it; callers that need an independent lifetime use NewQuery /
+// NewSharedQuery instead.
+func (e *Evaluator) BorrowQuery(point []float64, exclude int, shared *SharedCache) *Query {
+	q := &e.borrow
+	q.eval = e
+	q.point = append(q.point[:0], point...)
+	q.exclude = exclude
+	if q.cache == nil {
+		q.cache = make(map[subspace.Mask]float64)
+	} else {
+		clear(q.cache)
+	}
+	q.shared = shared
+	q.skeyRow, q.skeyPoint = 0, ""
+	q.hits, q.misses, q.sharedHits = 0, 0, 0
+	if shared != nil {
+		q.skeyRow, q.skeyPoint = pointIdentity(q.point, exclude)
 	}
 	return q
 }
@@ -197,7 +243,7 @@ func (q *Query) OD(s subspace.Mask) float64 {
 		return v
 	}
 	if q.shared != nil {
-		if v, ok := q.shared.get(sharedKey{point: q.skey, mask: s}); ok {
+		if v, ok := q.shared.get(sharedKey{row: q.skeyRow, point: q.skeyPoint, mask: s}); ok {
 			q.sharedHits++
 			q.cache[s] = v
 			return v
@@ -207,7 +253,7 @@ func (q *Query) OD(s subspace.Mask) float64 {
 	v := q.eval.OD(q.point, s, q.exclude)
 	q.cache[s] = v
 	if q.shared != nil {
-		q.shared.put(sharedKey{point: q.skey, mask: s}, v)
+		q.shared.put(sharedKey{row: q.skeyRow, point: q.skeyPoint, mask: s}, v)
 	}
 	return v
 }

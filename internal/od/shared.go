@@ -21,9 +21,13 @@ const DefaultSharedCacheCapacity = 1 << 16
 const sharedShards = 16
 
 // sharedKey identifies one memoised OD value: the query point's
-// identity (see pointKey) plus the subspace it was evaluated in.
+// identity (see pointIdentity) plus the subspace it was evaluated in.
+// Dataset rows are keyed by index alone so the hot batch-by-index path
+// builds keys without allocating; external points carry their
+// coordinate bit pattern.
 type sharedKey struct {
-	point string
+	row   int    // dataset row index, or -1 for external points
+	point string // coordinate bits for external points, "" for rows
 	mask  subspace.Mask
 }
 
@@ -75,14 +79,40 @@ func NewSharedCache(capacity int) *SharedCache {
 	return c
 }
 
-// shardFor hashes the key onto a shard (FNV-1a over the point bytes
-// and the mask).
+// Reset clears all entries and counters and re-bounds the cache to
+// roughly capacity entries (0 selects DefaultSharedCacheCapacity),
+// retaining each shard's map buckets so a pooled cache reaches an
+// allocation-free steady state. It must not be called while any
+// goroutine is still using the cache.
+func (c *SharedCache) Reset(capacity int) {
+	if c == nil {
+		return
+	}
+	if capacity <= 0 {
+		capacity = DefaultSharedCacheCapacity
+	}
+	per := (capacity + sharedShards - 1) / sharedShards
+	if per < 1 {
+		per = 1
+	}
+	c.shardCap = per
+	for i := range c.shards {
+		clear(c.shards[i].m)
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// shardFor hashes the key onto a shard (FNV-1a over the row index,
+// the point bytes and the mask).
 func (c *SharedCache) shardFor(k sharedKey) *sharedShard {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
+	h = (h ^ uint64(int64(k.row))) * prime64
 	for i := 0; i < len(k.point); i++ {
 		h = (h ^ uint64(k.point[i])) * prime64
 	}
@@ -158,23 +188,20 @@ func (c *SharedCache) Stats() SharedCacheStats {
 	return st
 }
 
-// pointKey serialises a query point's identity. Dataset members are
-// identified by their row index (which also pins the self-exclusion
-// semantics); external points by the exact bit pattern of their
-// coordinates — the same exactness-over-cleverness rule as the
-// server's result-cache key. The two forms are prefixed so an
-// external point can never collide with a row index.
-func pointKey(point []float64, exclude int) string {
+// pointIdentity derives a query point's shared-cache identity.
+// Dataset members are identified by their row index alone (which also
+// pins the self-exclusion semantics) — an integer, so the hot
+// batch-by-index path allocates nothing. External points are
+// identified by the exact bit pattern of their coordinates — the same
+// exactness-over-cleverness rule as the server's result-cache key —
+// with row = -1 so they can never collide with a dataset row.
+func pointIdentity(point []float64, exclude int) (row int, key string) {
 	if exclude >= 0 {
-		var buf [9]byte
-		buf[0] = 'i'
-		binary.LittleEndian.PutUint64(buf[1:], uint64(int64(exclude)))
-		return string(buf[:])
+		return exclude, ""
 	}
-	buf := make([]byte, 1+8*len(point))
-	buf[0] = 'p'
+	buf := make([]byte, 8*len(point))
 	for i, v := range point {
-		binary.LittleEndian.PutUint64(buf[1+8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
-	return string(buf)
+	return -1, string(buf)
 }

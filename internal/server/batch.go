@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/overload"
+	"repro/internal/subspace"
 )
 
 // POST /batch evaluates many outlying-subspace queries as one request
@@ -230,7 +231,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Minimal:       out.Minimal,
 				OutlyingCount: len(qr.Outlying),
 				ODEvaluations: qr.ODEvaluations,
-				outlyingMasks: qr.Outlying,
+				// Copy: qr.Outlying is carved from the BatchResult's
+				// arena; caching it directly would pin the whole batch's
+				// arena for the lifetime of one LRU entry.
+				outlyingMasks: append([]subspace.Mask(nil), qr.Outlying...),
 			}
 			if s.opts.MaxCachedMasks > 0 && len(qr.Outlying) > s.opts.MaxCachedMasks {
 				toCache.outlyingMasks = nil

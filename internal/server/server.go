@@ -488,12 +488,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res, err := d.miner.QueryWith(eval, point, exclude)
-		d.pool.Put(eval)
 		if err != nil {
+			d.pool.Put(eval)
 			finish(err)
 			done <- outcome{nil, err}
 			return
 		}
+		// The result aliases the evaluator's scratch: take an owned copy
+		// before the evaluator goes back to the pool (where the next
+		// borrower's query would overwrite it), since the response below
+		// is also retained by the LRU cache.
+		res = res.Clone()
+		d.pool.Put(eval)
 		resp := &queryResponse{
 			Index:         req.Index,
 			Threshold:     res.Threshold,

@@ -349,50 +349,62 @@ func (e *Engine) NewSearcher() (*Searcher, error) {
 
 // Searcher implements knn.Searcher by scatter-gather over the
 // Engine's shards. One Searcher serves one goroutine at a time; any
-// number of Searchers from the same Engine may run concurrently.
+// number of Searchers from the same Engine may run concurrently. See
+// knn.Searcher for the scratch-ownership contract: the returned slice
+// (backed by the merge heap) is valid until the next KNN call.
 type Searcher struct {
-	engine *Engine
-	subs   []knn.Searcher
-	stats  knn.SearchStats
+	engine   *Engine
+	subs     []knn.Searcher
+	queries  atomic.Int64
+	partials [][]knn.Neighbor // per-shard result table, reused
+	merge    knn.BoundedHeap  // global top-k, backs the returned slice
+}
+
+// probeShard runs the query on shard i's cursor, remaps local indices
+// to global rows and charges the work to the engine's shard counters.
+// The returned slice aliases the sub-searcher's scratch.
+func (s *Searcher) probeShard(i int, query []float64, sub subspace.Mask, k int, exclude int) []knn.Neighbor {
+	e := s.engine
+	localExclude := -1
+	if exclude >= 0 && int(e.shardOf[exclude]) == i {
+		localExclude = int(e.localOf[exclude])
+	}
+	before := s.subs[i].Stats()
+	nbs := s.subs[i].KNN(query, sub, k, localExclude)
+	delta := s.subs[i].Stats()
+	delta.Queries -= before.Queries
+	delta.PointsExamined -= before.PointsExamined
+	delta.NodesVisited -= before.NodesVisited
+	global := e.parts[i].global
+	for j := range nbs {
+		nbs[j].Index = global[nbs[j].Index]
+	}
+	e.work[i].queries.Add(delta.Queries)
+	e.work[i].pointsExamined.Add(delta.PointsExamined)
+	e.work[i].nodesVisited.Add(delta.NodesVisited)
+	return nbs
 }
 
 // KNN implements knn.Searcher: fan the probe out to every shard in
 // parallel, remap each shard's local indices to global rows, and merge
 // the partials into the exact global top-k.
 func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) []knn.Neighbor {
-	s.stats.Queries++
+	s.queries.Add(1)
 	if k <= 0 || sub.IsEmpty() {
 		return nil
 	}
 	e := s.engine
-	partials := make([][]knn.Neighbor, len(s.subs))
-	run := func(i int) {
-		localExclude := -1
-		if exclude >= 0 && int(e.shardOf[exclude]) == i {
-			localExclude = int(e.localOf[exclude])
-		}
-		before := s.subs[i].Stats()
-		nbs := s.subs[i].KNN(query, sub, k, localExclude)
-		delta := s.subs[i].Stats()
-		delta.Queries -= before.Queries
-		delta.PointsExamined -= before.PointsExamined
-		delta.NodesVisited -= before.NodesVisited
-		global := e.parts[i].global
-		for j := range nbs {
-			nbs[j].Index = global[nbs[j].Index]
-		}
-		partials[i] = nbs
-		e.work[i].queries.Add(delta.Queries)
-		e.work[i].pointsExamined.Add(delta.PointsExamined)
-		e.work[i].nodesVisited.Add(delta.NodesVisited)
+	if cap(s.partials) < len(s.subs) {
+		s.partials = make([][]knn.Neighbor, len(s.subs))
 	}
+	partials := s.partials[:len(s.subs)]
 	if !e.parallel {
 		// No parallelism to win (single shard, or a single-core box at
 		// engine-build time, where goroutine handoffs only add
 		// latency): probe in place. The merged answer is identical
-		// either way.
+		// either way, and this path allocates nothing in steady state.
 		for i := range s.subs {
-			run(i)
+			partials[i] = s.probeShard(i, query, sub, k, exclude)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -400,19 +412,26 @@ func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) [
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				run(i)
+				partials[i] = s.probeShard(i, query, sub, k, exclude)
 			}(i)
 		}
-		run(0) // shard 0 on the calling goroutine: one fewer handoff
+		partials[0] = s.probeShard(0, query, sub, k, exclude) // one fewer handoff
 		wg.Wait()
 	}
-	return Merge(k, partials...)
+	s.merge.Reset(k)
+	for _, part := range partials {
+		for _, nb := range part {
+			s.merge.Push(nb.Index, nb.Dist)
+		}
+	}
+	return s.merge.Sorted()
 }
 
 // Stats implements knn.Searcher: scatter-gather probes issued through
-// this cursor plus the per-shard point/node work they caused.
+// this cursor plus the per-shard point/node work they caused. Safe to
+// call concurrently with the querying goroutine.
 func (s *Searcher) Stats() knn.SearchStats {
-	out := s.stats
+	out := knn.SearchStats{Queries: s.queries.Load()}
 	for _, sub := range s.subs {
 		st := sub.Stats()
 		out.PointsExamined += st.PointsExamined
@@ -423,7 +442,7 @@ func (s *Searcher) Stats() knn.SearchStats {
 
 // ResetStats implements knn.Searcher.
 func (s *Searcher) ResetStats() {
-	s.stats = knn.SearchStats{}
+	s.queries.Store(0)
 	for _, sub := range s.subs {
 		sub.ResetStats()
 	}

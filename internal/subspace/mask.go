@@ -112,6 +112,18 @@ func (m Mask) EachDim(fn func(dim int)) {
 	}
 }
 
+// AppendDims appends the sorted 0-based dimension indices of the
+// subspace to dst and returns the extended slice. Passing dst[:0]
+// reuses its backing array, so hot paths can decode a mask into a
+// scratch slice without allocating.
+func (m Mask) AppendDims(dst []int) []int {
+	for v := uint32(m); v != 0; {
+		dst = append(dst, bits.TrailingZeros32(v))
+		v &= v - 1
+	}
+	return dst
+}
+
 // String renders the subspace as the paper does, e.g. "[0,2]" for the
 // subspace of dimensions {0, 2}.
 func (m Mask) String() string {

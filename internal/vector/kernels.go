@@ -1,0 +1,104 @@
+package vector
+
+import "math"
+
+// Distance kernels over precomputed dimension-index slices. They are
+// the hot-path counterparts of Dist/SqDistL2: callers decode a
+// subspace.Mask once per query (Mask.AppendDims into a scratch slice)
+// and then evaluate thousands of point pairs through these kernels
+// without the per-dimension closure call of EachDim.
+//
+// The loops are unrolled 4-wide to amortize loop overhead, but every
+// term is accumulated with its own sequential add into a single
+// accumulator, in ascending dimension order — exactly the evaluation
+// order of the EachDim implementations. Go does not reassociate
+// floating-point expressions, so the kernels are bit-identical to
+// Dist/SqDistL2 (the differential test in kernels_test.go pins this).
+
+// SqDistL2Dims returns the squared Euclidean distance between a and b
+// restricted to the given dimension indices.
+func SqDistL2Dims(dims []int, a, b []float64) float64 {
+	var sum float64
+	n := len(dims)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		k0, k1, k2, k3 := dims[i], dims[i+1], dims[i+2], dims[i+3]
+		d0 := a[k0] - b[k0]
+		sum += d0 * d0
+		d1 := a[k1] - b[k1]
+		sum += d1 * d1
+		d2 := a[k2] - b[k2]
+		sum += d2 * d2
+		d3 := a[k3] - b[k3]
+		sum += d3 * d3
+	}
+	for ; i < n; i++ {
+		k := dims[i]
+		d := a[k] - b[k]
+		sum += d * d
+	}
+	return sum
+}
+
+// l1DistDims returns the Manhattan distance restricted to dims.
+func l1DistDims(dims []int, a, b []float64) float64 {
+	var sum float64
+	n := len(dims)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		k0, k1, k2, k3 := dims[i], dims[i+1], dims[i+2], dims[i+3]
+		sum += math.Abs(a[k0] - b[k0])
+		sum += math.Abs(a[k1] - b[k1])
+		sum += math.Abs(a[k2] - b[k2])
+		sum += math.Abs(a[k3] - b[k3])
+	}
+	for ; i < n; i++ {
+		k := dims[i]
+		sum += math.Abs(a[k] - b[k])
+	}
+	return sum
+}
+
+// lInfDistDims returns the Chebyshev distance restricted to dims.
+func lInfDistDims(dims []int, a, b []float64) float64 {
+	var max float64
+	n := len(dims)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		k0, k1, k2, k3 := dims[i], dims[i+1], dims[i+2], dims[i+3]
+		if d := math.Abs(a[k0] - b[k0]); d > max {
+			max = d
+		}
+		if d := math.Abs(a[k1] - b[k1]); d > max {
+			max = d
+		}
+		if d := math.Abs(a[k2] - b[k2]); d > max {
+			max = d
+		}
+		if d := math.Abs(a[k3] - b[k3]); d > max {
+			max = d
+		}
+	}
+	for ; i < n; i++ {
+		k := dims[i]
+		if d := math.Abs(a[k] - b[k]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DistDims is the kernel counterpart of Dist: the distance between a
+// and b under metric m, restricted to the given dimension indices.
+func DistDims(m Metric, dims []int, a, b []float64) float64 {
+	switch m {
+	case L2:
+		return math.Sqrt(SqDistL2Dims(dims, a, b))
+	case L1:
+		return l1DistDims(dims, a, b)
+	case LInf:
+		return lInfDistDims(dims, a, b)
+	default:
+		panic("vector: unknown metric")
+	}
+}

@@ -1,0 +1,66 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/subspace"
+)
+
+// TestKernelsBitIdenticalToEachDim pins the unrolled dims-slice
+// kernels to the naive EachDim implementations bit for bit: same
+// accumulator, same sequential add order, so math.Float64bits must
+// match exactly — not approximately — across metrics, dimensionalities
+// 1..16 and a spread of subspace masks.
+func TestKernelsBitIdenticalToEachDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	metrics := []Metric{L2, L1, LInf}
+	for d := 1; d <= 16; d++ {
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for trial := 0; trial < 50; trial++ {
+			for j := 0; j < d; j++ {
+				// NaN-free, ±0-free fixtures spanning magnitudes.
+				a[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+				b[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+			masks := []subspace.Mask{subspace.Full(d)}
+			for m := 0; m < 8; m++ {
+				if mk := subspace.Mask(rng.Uint32()) & subspace.Full(d); !mk.IsEmpty() {
+					masks = append(masks, mk)
+				}
+			}
+			for _, mask := range masks {
+				dims := mask.AppendDims(nil)
+				if sq, want := SqDistL2Dims(dims, a, b), SqDistL2(mask, a, b); math.Float64bits(sq) != math.Float64bits(want) {
+					t.Fatalf("SqDistL2Dims(d=%d, mask=%v) = %v, EachDim form = %v", d, mask, sq, want)
+				}
+				for _, metric := range metrics {
+					got := DistDims(metric, dims, a, b)
+					want := Dist(metric, mask, a, b)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("DistDims(%v, d=%d, mask=%v) = %v, EachDim form = %v", metric, d, mask, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendDimsReusesBacking covers the scratch-reuse contract of
+// Mask.AppendDims.
+func TestAppendDimsReusesBacking(t *testing.T) {
+	buf := make([]int, 0, 8)
+	m := subspace.New(0, 2, 5)
+	got := m.AppendDims(buf[:0])
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("AppendDims = %v, want [0 2 5]", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatalf("AppendDims reallocated despite sufficient capacity")
+	}
+	if n := testing.AllocsPerRun(100, func() { got = m.AppendDims(got[:0]) }); n != 0 {
+		t.Fatalf("AppendDims into scratch allocates %v times per run, want 0", n)
+	}
+}

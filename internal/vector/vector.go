@@ -94,6 +94,11 @@ func (ds *Dataset) Point(i int) []float64 {
 	return ds.data[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
 }
 
+// Slab returns the flat row-major backing array (len N*Dim). It is
+// shared, not a copy: callers must treat it as read-only. Hot loops
+// use it to stride through rows without per-point slicing overhead.
+func (ds *Dataset) Slab() []float64 { return ds.data }
+
 // Rows materialises all points as a slice of copies.
 func (ds *Dataset) Rows() [][]float64 {
 	out := make([][]float64, ds.n)

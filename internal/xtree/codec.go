@@ -57,7 +57,7 @@ func (t *Tree) Encode(w io.Writer) error {
 	e.u8(uint8(t.metric))
 	e.u32(uint32(t.size))
 	e.u32(uint32(t.supernodes))
-	e.node(t.root)
+	e.anode(&t.ar, 0)
 	return e.err
 }
 
@@ -107,8 +107,7 @@ func Decode(r io.Reader, ds *vector.Dataset) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.root = root
-	finishDecodedNode(root, ds.Dim(), t.pointOf)
+	t.pack(root)
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
@@ -120,16 +119,6 @@ func (t *Tree) Metric() vector.Metric { return t.metric }
 
 // Config returns the construction parameters of the tree.
 func (t *Tree) Config() Config { return t.cfg }
-
-// finishDecodedNode rebuilds the derived state Decode does not read
-// from the stream: parent pointers and MBRs, bottom-up.
-func finishDecodedNode(n *node, dim int, pointOf func(int) []float64) {
-	for _, c := range n.children {
-		c.parent = n
-		finishDecodedNode(c, dim, pointOf)
-	}
-	n.recomputeMBR(dim, pointOf)
-}
 
 // node flags in the encoded stream.
 const (
@@ -164,29 +153,33 @@ func (e *treeEncoder) f64(v float64) {
 	e.write(e.buf[:8])
 }
 
-func (e *treeEncoder) node(n *node) {
+// anode writes arena node id and its subtree. Arena order is DFS
+// preorder, exactly the recursion order here, so the stream is
+// byte-for-byte the one the original pointer walk produced.
+func (e *treeEncoder) anode(a *arena, id int32) {
 	if e.err != nil {
 		return
 	}
+	n := &a.nodes[id]
 	var flags uint8
-	if n.leaf {
+	if n.isLeaf() {
 		flags |= flagLeaf
 	}
-	if n.super {
+	if n.isSuper() {
 		flags |= flagSuper
 	}
 	e.u8(flags)
-	e.u32(uint32(n.splitHistory))
-	if n.leaf {
-		e.u32(uint32(len(n.points)))
-		for _, idx := range n.points {
+	e.u32(uint32(n.history))
+	if n.isLeaf() {
+		e.u32(uint32(n.pointCount))
+		for _, idx := range a.rows(id) {
 			e.u32(uint32(idx))
 		}
 		return
 	}
-	e.u32(uint32(len(n.children)))
-	for _, c := range n.children {
-		e.node(c)
+	e.u32(uint32(n.childCount))
+	for _, c := range a.kids(id) {
+		e.anode(a, c)
 	}
 }
 

@@ -2,11 +2,13 @@ package xtree
 
 import "repro/internal/subspace"
 
-// node is an X-tree node. Leaf nodes hold dataset point indices;
-// directory nodes hold child nodes. A node whose entry count exceeds
-// the configured capacity is a supernode: the X-tree keeps it as a
-// single enlarged node because every available split would have
-// produced highly overlapping or unbalanced halves.
+// node is the linked scaffolding Build and Decode assemble the tree
+// with; pack() flattens the finished graph into the pointer-free
+// arena that the tree keeps (see arena.go). Leaf nodes hold dataset
+// point indices; directory nodes hold child nodes. A node whose entry
+// count exceeds the configured capacity is a supernode: the X-tree
+// keeps it as a single enlarged node because every available split
+// would have produced highly overlapping or unbalanced halves.
 type node struct {
 	mbr      MBR
 	parent   *node
@@ -35,11 +37,6 @@ func (n *node) entryCount() int {
 	return len(n.children)
 }
 
-// isSupernode reports whether n currently exceeds the normal capacity.
-func (n *node) isSupernode(capacity int) bool {
-	return n.super && n.entryCount() > capacity
-}
-
 // recomputeMBR rebuilds the node's MBR from its entries. pointOf maps
 // a dataset index to coordinates.
 func (n *node) recomputeMBR(dim int, pointOf func(int) []float64) {
@@ -54,18 +51,4 @@ func (n *node) recomputeMBR(dim int, pointOf func(int) []float64) {
 		}
 	}
 	n.mbr = m
-}
-
-// depth returns the height of the subtree rooted at n (leaf = 1).
-func (n *node) depth() int {
-	if n.leaf {
-		return 1
-	}
-	max := 0
-	for _, c := range n.children {
-		if d := c.depth(); d > max {
-			max = d
-		}
-	}
-	return max + 1
 }

@@ -1,7 +1,6 @@
 package xtree
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/knn"
@@ -13,10 +12,14 @@ import (
 // (Hjaltason–Samet) traversal: nodes are expanded in order of MINDIST
 // to the query within the search subspace, and traversal stops as soon
 // as the k-th nearest candidate is closer than the nearest unexpanded
-// node.
+// node. See knn.Searcher for the scratch-ownership and concurrency
+// contract: one goroutine per Searcher, results valid until the next
+// KNN call, Stats/ResetStats safe concurrently.
 type Searcher struct {
-	tree  *Tree
-	stats knn.SearchStats
+	tree    *Tree
+	stats   knn.AtomicStats
+	scratch knn.Scratch
+	pq      []queueItem // frontier heap storage, reused across queries
 }
 
 // NewSearcher wraps t in a knn.Searcher.
@@ -24,75 +27,150 @@ func NewSearcher(t *Tree) *Searcher { return &Searcher{tree: t} }
 
 // queueItem is a pending tree node in the best-first frontier.
 type queueItem struct {
-	node    *node
+	id      int32
 	minDist float64
 }
 
-type nodeQueue []queueItem
+// pqPush adds an item to the min-heap in pq.
+func pqPush(pq []queueItem, it queueItem) []queueItem {
+	pq = append(pq, it)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if pq[parent].minDist <= pq[i].minDist {
+			break
+		}
+		pq[parent], pq[i] = pq[i], pq[parent]
+		i = parent
+	}
+	return pq
+}
 
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].minDist < q[j].minDist }
-func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(queueItem)) }
-func (q *nodeQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+// pqPop removes and returns the minimum item.
+func pqPop(pq []queueItem) (queueItem, []queueItem) {
+	top := pq[0]
+	last := len(pq) - 1
+	pq[0] = pq[last]
+	pq = pq[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(pq) && pq[l].minDist < pq[small].minDist {
+			small = l
+		}
+		if r < len(pq) && pq[r].minDist < pq[small].minDist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		pq[i], pq[small] = pq[small], pq[i]
+		i = small
+	}
+	return top, pq
+}
+
+// minDistSqL2Dims is MBR.MinDistSqL2 over precomputed dimension
+// indices and the arena's flat bound rows. One accumulator, ascending
+// dimension order — bit-identical to the closure form it replaces.
+func minDistSqL2Dims(dims []int, q, lo, hi []float64) float64 {
+	var sum float64
+	for _, d := range dims {
+		diff := axisGap(q[d], lo[d], hi[d])
+		sum += diff * diff
+	}
+	return sum
+}
+
+// minDistDims is MBR.MinDist over precomputed dimension indices.
+func minDistDims(m vector.Metric, dims []int, q, lo, hi []float64) float64 {
+	switch m {
+	case vector.L2:
+		return math.Sqrt(minDistSqL2Dims(dims, q, lo, hi))
+	case vector.L1:
+		var sum float64
+		for _, d := range dims {
+			sum += axisGap(q[d], lo[d], hi[d])
+		}
+		return sum
+	case vector.LInf:
+		var max float64
+		for _, d := range dims {
+			if diff := axisGap(q[d], lo[d], hi[d]); diff > max {
+				max = diff
+			}
+		}
+		return max
+	default:
+		panic("xtree: unknown metric")
+	}
 }
 
 // KNN implements knn.Searcher.
 func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) []knn.Neighbor {
-	s.stats.Queries++
-	if k <= 0 || sub.IsEmpty() || s.tree.size == 0 {
+	s.stats.Queries.Add(1)
+	t := s.tree
+	if k <= 0 || sub.IsEmpty() || t.size == 0 {
 		return nil
 	}
-	t := s.tree
+	dims := s.scratch.Begin(sub, k)
+	best := &s.scratch.Heap
+	a := &t.ar
+	d := a.dim
+	slab := t.ds.Slab()
 	useSq := t.metric == vector.L2
-	nodeDist := func(n *node) float64 {
+
+	nodeDist := func(id int32) float64 {
+		base := int(id) * d
+		lo := a.mbrMin[base : base+d]
+		hi := a.mbrMax[base : base+d]
 		if useSq {
-			return n.mbr.MinDistSqL2(sub, query)
+			return minDistSqL2Dims(dims, query, lo, hi)
 		}
-		return n.mbr.MinDist(t.metric, sub, query)
-	}
-	pointDist := func(i int) float64 {
-		if useSq {
-			return vector.SqDistL2(sub, query, t.ds.Point(i))
-		}
-		return vector.Dist(t.metric, sub, query, t.ds.Point(i))
+		return minDistDims(t.metric, dims, query, lo, hi)
 	}
 
-	best := knn.NewBoundedHeap(k)
-	pq := &nodeQueue{{node: t.root, minDist: nodeDist(t.root)}}
-	heap.Init(pq)
-
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(queueItem)
+	var nodesVisited, pointsExamined int64
+	pq := s.pq[:0]
+	pq = pqPush(pq, queueItem{id: 0, minDist: nodeDist(0)})
+	for len(pq) > 0 {
+		var item queueItem
+		item, pq = pqPop(pq)
 		if w, full := best.WorstDist(); full && item.minDist > w {
 			break // nothing closer remains
 		}
-		n := item.node
-		s.stats.NodesVisited++
-		if n.leaf {
-			for _, idx := range n.points {
-				if idx == exclude {
+		nodesVisited++
+		n := &a.nodes[item.id]
+		if n.isLeaf() {
+			for _, idx := range a.rows(item.id) {
+				i := int(idx)
+				if i == exclude {
 					continue
 				}
-				s.stats.PointsExamined++
-				d := pointDist(idx)
-				best.Push(idx, d)
+				pointsExamined++
+				row := slab[i*d : i*d+d]
+				var dist float64
+				if useSq {
+					dist = vector.SqDistL2Dims(dims, query, row)
+				} else {
+					dist = vector.DistDims(t.metric, dims, query, row)
+				}
+				best.Push(i, dist)
 			}
 			continue
 		}
-		for _, c := range n.children {
+		for _, c := range a.kids(item.id) {
 			md := nodeDist(c)
 			if w, full := best.WorstDist(); full && md > w {
 				continue
 			}
-			heap.Push(pq, queueItem{node: c, minDist: md})
+			pq = pqPush(pq, queueItem{id: c, minDist: md})
 		}
 	}
+	s.pq = pq[:0]
+	s.stats.NodesVisited.Add(nodesVisited)
+	s.stats.PointsExamined.Add(pointsExamined)
 
 	res := best.Sorted()
 	if useSq {
@@ -105,46 +183,57 @@ func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) [
 
 // Range returns the indices of all points within radius r of the
 // query in subspace sub (excluding index exclude), in ascending index
-// order.
+// order. Unlike KNN, the returned slice is freshly allocated (Range is
+// not on the OD hot path).
 func (s *Searcher) Range(query []float64, sub subspace.Mask, r float64, exclude int) []int {
-	s.stats.Queries++
+	s.stats.Queries.Add(1)
 	if sub.IsEmpty() || r < 0 {
 		return nil
 	}
 	t := s.tree
+	a := &t.ar
+	d := a.dim
+	s.scratch.Dims = sub.AppendDims(s.scratch.Dims[:0])
+	dims := s.scratch.Dims
+	var nodesVisited, pointsExamined int64
 	var out []int
-	var walk func(n *node)
-	walk = func(n *node) {
-		s.stats.NodesVisited++
-		if n.leaf {
-			for _, idx := range n.points {
-				if idx == exclude {
+	var walk func(id int32)
+	walk = func(id int32) {
+		nodesVisited++
+		n := &a.nodes[id]
+		if n.isLeaf() {
+			for _, idx := range a.rows(id) {
+				i := int(idx)
+				if i == exclude {
 					continue
 				}
-				s.stats.PointsExamined++
-				if vector.Dist(t.metric, sub, query, t.ds.Point(idx)) <= r {
-					out = append(out, idx)
+				pointsExamined++
+				if vector.DistDims(t.metric, dims, query, t.ds.Point(i)) <= r {
+					out = append(out, i)
 				}
 			}
 			return
 		}
-		for _, c := range n.children {
-			if c.mbr.MinDist(t.metric, sub, query) <= r {
+		for _, c := range a.kids(id) {
+			base := int(c) * d
+			if minDistDims(t.metric, dims, query, a.mbrMin[base:base+d], a.mbrMax[base:base+d]) <= r {
 				walk(c)
 			}
 		}
 	}
-	walk(t.root)
+	walk(0)
+	s.stats.NodesVisited.Add(nodesVisited)
+	s.stats.PointsExamined.Add(pointsExamined)
 	// Indices accumulate in leaf order; normalise to ascending.
 	insertionSortInts(out)
 	return out
 }
 
 // Stats implements knn.Searcher.
-func (s *Searcher) Stats() knn.SearchStats { return s.stats }
+func (s *Searcher) Stats() knn.SearchStats { return s.stats.Snapshot() }
 
 // ResetStats implements knn.Searcher.
-func (s *Searcher) ResetStats() { s.stats = knn.SearchStats{} }
+func (s *Searcher) ResetStats() { s.stats.Reset() }
 
 func insertionSortInts(a []int) {
 	for i := 1; i < len(a); i++ {

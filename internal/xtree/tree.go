@@ -62,12 +62,16 @@ func (c Config) minFill() int {
 }
 
 // Tree is an X-tree over the points of a Dataset. The tree stores
-// point indices; coordinates stay in the dataset.
+// point indices; coordinates stay in the dataset. After construction
+// the tree lives entirely in a pointer-free node arena (see arena.go);
+// the linked nodes exist only while Build or Decode assembles the
+// structure.
 type Tree struct {
 	ds     *vector.Dataset
 	metric vector.Metric
 	cfg    Config
-	root   *node
+	root   *node // build/decode scaffolding; nil once packed
+	ar     arena
 	size   int
 
 	supernodes int // number of supernode creations
@@ -100,6 +104,8 @@ func Build(ds *vector.Dataset, metric vector.Metric, cfg Config) (*Tree, error) 
 	for i := 0; i < ds.N(); i++ {
 		t.insert(i)
 	}
+	t.pack(t.root)
+	t.root = nil
 	return t, nil
 }
 
@@ -107,38 +113,30 @@ func Build(ds *vector.Dataset, metric vector.Metric, cfg Config) (*Tree, error) 
 func (t *Tree) Size() int { return t.size }
 
 // Height returns the height of the tree (a single leaf root has
-// height 1).
-func (t *Tree) Height() int { return t.root.depth() }
+// height 1). All leaves share one depth, so following first children
+// from the root measures it.
+func (t *Tree) Height() int {
+	h := 1
+	for id := int32(0); !t.ar.nodes[id].isLeaf(); id = t.ar.kids(id)[0] {
+		h++
+	}
+	return h
+}
 
 // SupernodeCount returns how many supernodes exist in the tree.
 func (t *Tree) SupernodeCount() int {
 	count := 0
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.isSupernode(t.cfg.MaxEntries) {
+	for i := range t.ar.nodes {
+		n := &t.ar.nodes[i]
+		if n.isSuper() && n.entryCount() > t.cfg.MaxEntries {
 			count++
 		}
-		for _, c := range n.children {
-			walk(c)
-		}
 	}
-	walk(t.root)
 	return count
 }
 
 // NodeCount returns the total number of nodes.
-func (t *Tree) NodeCount() int {
-	count := 0
-	var walk func(n *node)
-	walk = func(n *node) {
-		count++
-		for _, c := range n.children {
-			walk(c)
-		}
-	}
-	walk(t.root)
-	return count
-}
+func (t *Tree) NodeCount() int { return len(t.ar.nodes) }
 
 func (t *Tree) pointOf(i int) []float64 { return t.ds.Point(i) }
 

@@ -5,23 +5,24 @@ import (
 	"math"
 )
 
-// Validate checks the structural invariants of the tree and returns
-// the first violation found, or nil. It is exercised heavily by tests
-// and usable as a debugging aid:
+// Validate checks the structural invariants of the packed tree and
+// returns the first violation found, or nil. It is exercised heavily
+// by tests and usable as a debugging aid:
 //
 //   - every point index appears exactly once across all leaves;
 //   - every node's MBR is exactly the tight bound of its entries;
 //   - all leaves sit at the same depth;
-//   - non-root nodes respect the minimum fill unless they are
-//     supernodes or the root path required otherwise;
 //   - node capacity is respected except for supernodes.
 func (t *Tree) Validate() error {
 	seen := make(map[int]int)
 	leafDepth := -1
-	var walk func(n *node, depth int, isRoot bool) error
-	walk = func(n *node, depth int, isRoot bool) error {
+	a := &t.ar
+	d := t.ds.Dim()
+	var walk func(id int32, depth int, isRoot bool) error
+	walk = func(id int32, depth int, isRoot bool) error {
+		n := &a.nodes[id]
 		// Capacity.
-		if n.entryCount() > t.cfg.MaxEntries && !n.super {
+		if n.entryCount() > t.cfg.MaxEntries && !n.isSuper() {
 			return fmt.Errorf("node at depth %d has %d entries > capacity %d and is not a supernode",
 				depth, n.entryCount(), t.cfg.MaxEntries)
 		}
@@ -29,11 +30,11 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("empty non-root node at depth %d", depth)
 		}
 		// MBR tightness.
-		want := EmptyMBR(t.ds.Dim())
-		if n.leaf {
-			for _, idx := range n.points {
-				seen[idx]++
-				want.ExtendPoint(t.pointOf(idx))
+		want := EmptyMBR(d)
+		if n.isLeaf() {
+			for _, idx := range a.rows(id) {
+				seen[int(idx)]++
+				want.ExtendPoint(t.pointOf(int(idx)))
 			}
 			if leafDepth == -1 {
 				leafDepth = depth
@@ -41,32 +42,30 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("leaf depth mismatch: %d vs %d", leafDepth, depth)
 			}
 		} else {
-			if len(n.points) != 0 {
+			if n.pointCount != 0 {
 				return fmt.Errorf("directory node holds points")
 			}
-			for _, c := range n.children {
-				if c.parent != n {
-					return fmt.Errorf("broken parent pointer at depth %d", depth)
-				}
-				want.Extend(c.mbr)
+			for _, c := range a.kids(id) {
+				want.Extend(a.nodeMBR(c))
 			}
 		}
 		if t.size > 0 && n.entryCount() > 0 {
+			have := a.nodeMBR(id)
 			for i := range want.Min {
-				if !almostEq(want.Min[i], n.mbr.Min[i]) || !almostEq(want.Max[i], n.mbr.Max[i]) {
+				if !almostEq(want.Min[i], have.Min[i]) || !almostEq(want.Max[i], have.Max[i]) {
 					return fmt.Errorf("loose MBR at depth %d dim %d: have [%v,%v], want [%v,%v]",
-						depth, i, n.mbr.Min[i], n.mbr.Max[i], want.Min[i], want.Max[i])
+						depth, i, have.Min[i], have.Max[i], want.Min[i], want.Max[i])
 				}
 			}
 		}
-		for _, c := range n.children {
+		for _, c := range a.kids(id) {
 			if err := walk(c, depth+1, false); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(t.root, 0, true); err != nil {
+	if err := walk(0, 0, true); err != nil {
 		return err
 	}
 	if len(seen) != t.size {

@@ -7,10 +7,18 @@
 //
 //	go test -bench=. -benchmem ./... | go run ./tools/benchjson -out BENCH_3.json
 //	go run ./tools/benchjson -in bench.txt -out BENCH_3.json
+//	go run ./tools/benchjson -in bench.txt -gate BENCH_6.json -min-shard-speedup 1.5
 //
 // The converter is line-oriented and permissive: non-benchmark lines
 // (package headers, PASS/ok, warnings) are skipped, so piping the
 // whole `go test` stream in is fine.
+//
+// With -gate, benchjson is CI's bench-regression gate: it compares
+// the fresh run against the committed previous BENCH_<n>.json and
+// exits non-zero on a >tolerance regression. allocs/op is always
+// gated (it is hardware-independent); ns/op only when both runs saw
+// the same CPU count; the shard-speedup floor only on multi-CPU runs
+// (scatter-gather cannot beat a single index on one core).
 package main
 
 import (
@@ -40,9 +48,13 @@ type Benchmark struct {
 
 // Report is the BENCH_<n>.json schema.
 type Report struct {
-	GeneratedAt string      `json:"generated_at"`
-	GoVersion   string      `json:"go_version"`
-	CPUs        int         `json:"cpus"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	CPUs        int    `json:"cpus"`
+	// CISingleCPU marks reports produced on a one-core runner: timing
+	// comparisons against them are meaningful, parallel-scaling
+	// assertions are not.
+	CISingleCPU bool        `json:"ci_single_cpu,omitempty"`
 	Benchmarks  []Benchmark `json:"benchmarks"`
 	// ShardSpeedup maps "<n>x" to ns/op(shards=1) / ns/op(shards=n)
 	// from BenchmarkShardedQuery — the scatter-gather scaling record
@@ -63,8 +75,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		inPath  = fs.String("in", "", "bench output file (default: stdin)")
-		outPath = fs.String("out", "", "JSON destination (default: stdout)")
+		inPath    = fs.String("in", "", "bench output file (default: stdin)")
+		outPath   = fs.String("out", "", "JSON destination (default: stdout)")
+		gatePath  = fs.String("gate", "", "previous BENCH_<n>.json to gate the fresh run against; a regression fails the command")
+		tolerance = fs.Float64("tolerance", 0.10, "with -gate: allowed fractional regression in ns/op and allocs/op")
+		minShard  = fs.Float64("min-shard-speedup", 0, "with -gate: required 4x shard speedup on multi-CPU runs (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +105,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		CPUs:         runtime.NumCPU(),
+		CISingleCPU:  runtime.NumCPU() == 1,
 		Benchmarks:   benches,
 		ShardSpeedup: ShardSpeedups(benches),
 	}
@@ -98,11 +114,110 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	buf = append(buf, '\n')
+	// Write the artifact before gating: a failed gate should still
+	// leave the fresh numbers on disk for the trajectory record.
 	if *outPath != "" {
-		return os.WriteFile(*outPath, buf, 0o644)
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			return err
+		}
+	} else if *gatePath == "" {
+		if _, err := stdout.Write(buf); err != nil {
+			return err
+		}
 	}
-	_, err = stdout.Write(buf)
-	return err
+	if *gatePath != "" {
+		prevBuf, err := os.ReadFile(*gatePath)
+		if err != nil {
+			return err
+		}
+		var prev Report
+		if err := json.Unmarshal(prevBuf, &prev); err != nil {
+			return fmt.Errorf("%s: %w", *gatePath, err)
+		}
+		violations := Gate(&prev, rep, *tolerance, *minShard, stdout)
+		if len(violations) > 0 {
+			return fmt.Errorf("bench gate failed: %d regression(s) vs %s", len(violations), *gatePath)
+		}
+	}
+	return nil
+}
+
+// baseName strips the trailing -<GOMAXPROCS> suffix go test appends
+// to benchmark names, so runs from machines with different core
+// counts compare by the same key.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Gate compares the fresh report against the committed previous one
+// and returns the violations (empty = pass), logging each comparison
+// to out. Policy:
+//
+//   - allocs/op is gated unconditionally — allocation counts are
+//     deterministic and hardware-independent. A zero baseline admits
+//     zero: the hot path's zero-allocation contract, once recorded,
+//     cannot silently erode.
+//   - ns/op is gated only when both runs saw the same CPU count;
+//     wall-clock across different machines is noise, not signal.
+//   - the shard-speedup floor applies only on multi-CPU runs — on a
+//     single core scatter-gather is pure overhead by construction,
+//     which is exactly what ci_single_cpu records.
+func Gate(prev, cur *Report, tolerance, minShardSpeedup float64, out io.Writer) []string {
+	var violations []string
+	fail := func(format string, a ...any) {
+		v := fmt.Sprintf(format, a...)
+		violations = append(violations, v)
+		fmt.Fprintln(out, "FAIL", v)
+	}
+	prevBy := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		prevBy[baseName(b.Name)] = b
+	}
+	sameCPU := prev.CPUs == cur.CPUs
+	if !sameCPU {
+		fmt.Fprintf(out, "skip ns/op gate: previous run had %d CPUs, this one %d\n", prev.CPUs, cur.CPUs)
+	}
+	for _, b := range cur.Benchmarks {
+		name := baseName(b.Name)
+		pb, ok := prevBy[name]
+		if !ok {
+			fmt.Fprintf(out, "new benchmark %s: no baseline, skipped\n", name)
+			continue
+		}
+		if pb.AllocsPerOp >= 0 && b.AllocsPerOp >= 0 {
+			limit := float64(pb.AllocsPerOp) * (1 + tolerance)
+			if float64(b.AllocsPerOp) > limit {
+				fail("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+					name, b.AllocsPerOp, pb.AllocsPerOp, tolerance*100)
+			} else {
+				fmt.Fprintf(out, "ok   %s: allocs/op %d (baseline %d)\n", name, b.AllocsPerOp, pb.AllocsPerOp)
+			}
+		}
+		if sameCPU && pb.NsPerOp > 0 && b.NsPerOp > pb.NsPerOp*(1+tolerance) {
+			fail("%s: %.0f ns/op exceeds baseline %.0f by more than %.0f%%",
+				name, b.NsPerOp, pb.NsPerOp, tolerance*100)
+		}
+	}
+	if minShardSpeedup > 0 {
+		switch {
+		case cur.CPUs == 1:
+			fmt.Fprintln(out, "skip shard-speedup floor: single-CPU run (ci_single_cpu)")
+		case cur.ShardSpeedup["4x"] == 0:
+			fmt.Fprintln(out, "skip shard-speedup floor: no BenchmarkShardedQuery/shards=4 in input")
+		case cur.ShardSpeedup["4x"] < minShardSpeedup:
+			fail("shard speedup 4x = %.2f, floor is %.2f", cur.ShardSpeedup["4x"], minShardSpeedup)
+		default:
+			fmt.Fprintf(out, "ok   shard speedup 4x = %.2f (floor %.2f)\n", cur.ShardSpeedup["4x"], minShardSpeedup)
+		}
+	}
+	return violations
 }
 
 // Parse extracts benchmark result lines from a `go test -bench`

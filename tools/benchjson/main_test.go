@@ -112,3 +112,124 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("missing input file accepted")
 	}
 }
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkQueryWith-8":           "BenchmarkQueryWith",
+		"BenchmarkQueryWith/shards=0-16": "BenchmarkQueryWith/shards=0",
+		"BenchmarkQueryWith/shards=0":    "BenchmarkQueryWith/shards=0",
+		"BenchmarkQueryBatchCore":        "BenchmarkQueryBatchCore",
+		"BenchmarkFoo/sub-case":          "BenchmarkFoo/sub-case",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func gateReport(cpus int, benches ...Benchmark) *Report {
+	return &Report{CPUs: cpus, CISingleCPU: cpus == 1, Benchmarks: benches, ShardSpeedup: ShardSpeedups(benches)}
+}
+
+func TestGateAllocsAlwaysEnforced(t *testing.T) {
+	prev := gateReport(1, Benchmark{Name: "BenchmarkQueryWith/shards=0", NsPerOp: 100, AllocsPerOp: 0})
+	// Different CPU count: ns/op must be skipped, allocs still gated.
+	cur := gateReport(8, Benchmark{Name: "BenchmarkQueryWith/shards=0-8", NsPerOp: 500, AllocsPerOp: 2})
+	var out bytes.Buffer
+	v := Gate(prev, cur, 0.10, 0, &out)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violations = %v\n%s", v, out.String())
+	}
+	if !strings.Contains(out.String(), "skip ns/op gate") {
+		t.Fatalf("missing ns/op skip notice:\n%s", out.String())
+	}
+	// Zero-baseline allocs admit zero, so an equal run passes.
+	cur.Benchmarks[0].AllocsPerOp = 0
+	if v := Gate(prev, cur, 0.10, 0, &out); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}
+
+func TestGateNsOnlyOnMatchingCPUs(t *testing.T) {
+	prev := gateReport(4, Benchmark{Name: "BenchmarkQueryBatchCore", NsPerOp: 1000, AllocsPerOp: 3})
+	cur := gateReport(4, Benchmark{Name: "BenchmarkQueryBatchCore-4", NsPerOp: 1200, AllocsPerOp: 3})
+	var out bytes.Buffer
+	v := Gate(prev, cur, 0.10, 0, &out)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("violations = %v", v)
+	}
+	// Within tolerance passes.
+	cur.Benchmarks[0].NsPerOp = 1050
+	if v := Gate(prev, cur, 0.10, 0, &out); len(v) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", v)
+	}
+}
+
+func TestGateShardSpeedupSkippedOnSingleCPU(t *testing.T) {
+	sharded := []Benchmark{
+		{Name: "BenchmarkShardedQuery/shards=1", NsPerOp: 1000, AllocsPerOp: 1},
+		{Name: "BenchmarkShardedQuery/shards=4", NsPerOp: 900, AllocsPerOp: 1},
+	}
+	prev := gateReport(1, sharded...)
+	cur := gateReport(1, sharded...)
+	var out bytes.Buffer
+	// Speedup 1.11 < floor 1.5, but cpus==1 skips the assertion.
+	if v := Gate(prev, cur, 0.10, 1.5, &out); len(v) != 0 {
+		t.Fatalf("single-CPU run hit the shard floor: %v\n%s", v, out.String())
+	}
+	if !strings.Contains(out.String(), "skip shard-speedup floor: single-CPU") {
+		t.Fatalf("missing skip notice:\n%s", out.String())
+	}
+	// The same numbers on a multi-CPU run fail it.
+	cur4 := gateReport(4, sharded...)
+	if v := Gate(prev, cur4, 0.10, 1.5, &out); len(v) != 1 || !strings.Contains(v[0], "shard speedup") {
+		t.Fatalf("violations = %v", v)
+	}
+	// And a healthy multi-CPU speedup passes.
+	cur4.ShardSpeedup = map[string]float64{"4x": 2.8}
+	if v := Gate(prev, cur4, 0.10, 1.5, &out); len(v) != 0 {
+		t.Fatalf("healthy speedup flagged: %v", v)
+	}
+}
+
+func TestGateNewBenchmarkHasNoBaseline(t *testing.T) {
+	prev := gateReport(1)
+	cur := gateReport(1, Benchmark{Name: "BenchmarkBrandNew", NsPerOp: 10, AllocsPerOp: 99})
+	var out bytes.Buffer
+	if v := Gate(prev, cur, 0.10, 0, &out); len(v) != 0 {
+		t.Fatalf("baseline-less benchmark gated: %v", v)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("missing skip notice:\n%s", out.String())
+	}
+}
+
+func TestRunGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	prevPath := filepath.Join(dir, "BENCH_prev.json")
+	var stdout, stderr bytes.Buffer
+
+	// Produce a baseline from the sample stream.
+	if err := run([]string{"-out", prevPath}, strings.NewReader(sample), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// Gating the identical stream against it passes.
+	if err := run([]string{"-gate", prevPath}, strings.NewReader(sample), &stdout, &stderr); err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, stdout.String())
+	}
+	// A run with an alloc regression fails, and -out still lands.
+	regressed := strings.Replace(sample, "10 allocs/op", "99 allocs/op", 1)
+	outPath := filepath.Join(dir, "BENCH_cur.json")
+	err := run([]string{"-gate", prevPath, "-out", outPath}, strings.NewReader(regressed), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "bench gate failed") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, statErr := os.Stat(outPath); statErr != nil {
+		t.Fatalf("failed gate did not write the artifact: %v", statErr)
+	}
+	// Missing baseline file surfaces the open error.
+	if err := run([]string{"-gate", filepath.Join(dir, "nope.json")}, strings.NewReader(sample), &stdout, &stderr); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

@@ -39,9 +39,10 @@ func TestParseLine(t *testing.T) {
 
 func TestGatePassesAndFails(t *testing.T) {
 	p := writeProfile(t)
-	// core: (4 + 10 covered) / 20 total = 70%; server: 100%.
-	if err := run([]string{"-profile", p, "-min", "60", "repro/internal/core", "repro/internal/server"}, os.Stdout); err != nil {
-		t.Fatalf("gate at 60%% failed: %v", err)
+	// core: 4 covered / 10 total = 40% (sub/extra.go is a different
+	// package and does not count); server: 100%.
+	if err := run([]string{"-profile", p, "-min", "40", "repro/internal/core", "repro/internal/server"}, os.Stdout); err != nil {
+		t.Fatalf("gate at 40%% failed: %v", err)
 	}
 	err := run([]string{"-profile", p, "-min", "80", "repro/internal/core", "repro/internal/server"}, os.Stdout)
 	if err == nil || !strings.Contains(err.Error(), "below") {
@@ -55,6 +56,25 @@ func TestGatePrefixIsPathAware(t *testing.T) {
 	// (0% covered); if it did, the 95% gate would fail.
 	if err := run([]string{"-profile", p, "-min", "95", "repro/internal/server"}, os.Stdout); err != nil {
 		t.Fatalf("prefix matching leaked across package boundaries: %v", err)
+	}
+}
+
+func TestGateDoesNotAbsorbSubpackages(t *testing.T) {
+	p := writeProfile(t)
+	// A gated package is matched exactly: repro/internal/core does not
+	// fold in repro/internal/core/sub. Test-less helper subpackages
+	// show up in ./... profiles as all-zero rows — exercised only
+	// through their parent's tests, which default coverage does not
+	// credit — and absorbing them would fail the parent spuriously.
+	// Here sub is 100% covered and core alone is 40%: a 50% gate on
+	// core must fail, proving sub's rows were not folded in.
+	err := run([]string{"-profile", p, "-min", "50", "repro/internal/core"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "below") {
+		t.Fatalf("subpackage rows leaked into the parent's gate: %v", err)
+	}
+	// And the subpackage is gateable in its own right.
+	if err := run([]string{"-profile", p, "-min", "95", "repro/internal/core/sub"}, os.Stdout); err != nil {
+		t.Fatalf("exact subpackage gate failed: %v", err)
 	}
 }
 
