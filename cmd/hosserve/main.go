@@ -27,6 +27,12 @@
 //	POST /datasets/evict drop a loaded dataset
 //	POST /datasets/{name}/save
 //	                     persist an entry to <data-dir>/<name>.snap
+//	POST /datasets/{name}/append
+//	                     stream rows into a serving dataset (new epoch)
+//	DELETE /datasets/{name}/rows
+//	                     delete rows by stable-ID range or keep_last
+//	POST /datasets/{name}/compact
+//	                     fold the dataset's WAL into a fresh snapshot
 //	GET  /state          export preprocessed state (?dataset=name)
 //	GET  /healthz        liveness + default dataset summary
 //	GET  /stats          query counts, cache hits, latency percentiles,
@@ -195,6 +201,9 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.StringVar(&cc.loadState, "load-state", "", "import preprocessed state (threshold+priors) from this JSON file, skipping learning")
 	fs.StringVar(&cc.saveState, "save-state", "", "after preprocessing, save state to this JSON file")
 	fs.StringVar(&cc.dataDir, "data-dir", "", "snapshot directory: warm-start every *.snap in it at boot (background jobs), enable POST /datasets/{name}/save and file loads; with no -data/-gen, serve default.snap from it as the default dataset")
+	fs.BoolVar(&cc.srv.WAL, "wal", true, "with -data-dir: write-ahead log live mutations (POST /datasets/{name}/append, DELETE .../rows) beside each snapshot and replay the log on restart")
+	fs.BoolVar(&cc.srv.WALSyncEach, "wal-sync", false, "fsync the WAL after every mutation (durable through power loss, slower appends)")
+	fs.Int64Var(&cc.srv.WALCompactBytes, "wal-compact-bytes", 0, "auto-compact a dataset's WAL into a fresh snapshot once it exceeds this size (default 4 MiB, negative disables)")
 	fs.IntVar(&cc.srv.CacheSize, "cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
 	fs.DurationVar(&cc.srv.QueryTimeout, "query-timeout", 0, "per-query deadline (default 10s)")
 	fs.DurationVar(&cc.srv.ScanTimeout, "scan-timeout", 0, "per-scan deadline (default 2m)")
@@ -372,6 +381,19 @@ func setupFromSnapshot(cc *cliConfig, stderr io.Writer) (*server.Server, *vector
 	srv, err := server.New(m, cc.srv)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	// Replay the default dataset's delta log over the restored base.
+	// This runs only on this boot path: after -gen/-data the base is
+	// fresh and a lingering default.wal belongs to an earlier dataset.
+	// A replay problem degrades to serving the base snapshot with a
+	// warning — the deltas are still on disk for a post-mortem.
+	if cc.srv.WAL {
+		switch n, err := srv.AttachDefaultWAL(); {
+		case err != nil:
+			fmt.Fprintf(stderr, "warning: default dataset WAL not replayed (serving the base snapshot): %v\n", err)
+		case n > 0:
+			fmt.Fprintf(stderr, "replayed %d WAL record(s) onto the default dataset\n", n)
+		}
 	}
 	if err := warmStart(srv, cc, stderr); err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,115 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// Differential tests for live ingestion: a dataset grown by streaming
+// appends must be indistinguishable from the same dataset built in one
+// shot. These are the conformance backing for POST /datasets/{name}/append
+// — the server's incremental path is core.Miner.WithAppended, which is
+// exactly what AppendedMiner drives.
+
+// appendPrefix picks how much of the spec's dataset the base miner is
+// built over before the rest streams in: roughly two thirds, so both
+// append chunks are non-trivial.
+func appendPrefix(sp Spec) int { return sp.Gen.N * 2 / 3 }
+
+// assertAppendEqualsRebuild compares an appended-to miner against its
+// from-scratch twin on resolved threshold bits and full-scan
+// fingerprints (exact OD bits per hit).
+func assertAppendEqualsRebuild(t *testing.T, appended, rebuilt *core.Miner) {
+	t.Helper()
+	if got, want := math.Float64bits(appended.Threshold()), math.Float64bits(rebuilt.Threshold()); got != want {
+		t.Fatalf("thresholds diverge: appended %v, rebuilt %v", appended.Threshold(), rebuilt.Threshold())
+	}
+	a, err := ScanFingerprints(appended, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScanFingerprints(rebuilt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff("appended", a, "rebuilt", b); d != "" {
+		t.Fatalf("appended and rebuilt miners disagree:\n%s", d)
+	}
+}
+
+// Every spec, both backends, unsharded: append ≡ rebuild.
+func TestAppendedMatchesRebuilt(t *testing.T) {
+	for _, sp := range DefaultSpecs() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range Backends() {
+				appended, err := sp.AppendedMiner(backend, core.PolicyTSF, 0, shard.RoundRobin, appendPrefix(sp))
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				rebuilt, err := sp.Miner(backend, core.PolicyTSF)
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				assertAppendEqualsRebuild(t, appended, rebuilt)
+			}
+		})
+	}
+}
+
+// Sharded engines, every width and both partitioners: the incremental
+// path routes each appended row to its partition-assigned shard, and
+// the result must still match a one-shot sharded build. Two specs keep
+// the 2 backends x 3 widths x 2 partitioners cross affordable.
+func TestShardedAppendedMatchesRebuilt(t *testing.T) {
+	for _, sp := range []Spec{DefaultSpecs()[0], DefaultSpecs()[2]} {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range Backends() {
+				for _, width := range ShardWidths() {
+					for _, part := range Partitioners() {
+						appended, err := sp.AppendedMiner(backend, core.PolicyTSF, width, part, appendPrefix(sp))
+						if err != nil {
+							t.Fatalf("%v/%d/%v: %v", backend, width, part, err)
+						}
+						rebuilt, err := sp.ShardedMiner(backend, core.PolicyTSF, width, part)
+						if err != nil {
+							t.Fatalf("%v/%d/%v: %v", backend, width, part, err)
+						}
+						assertAppendEqualsRebuild(t, appended, rebuilt)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A sharded appended engine also agrees with the unsharded rebuilt
+// miner — closing the triangle append x shard x single-index.
+func TestShardedAppendedMatchesUnsharded(t *testing.T) {
+	sp := DefaultSpecs()[3]
+	single, err := sp.Miner(core.BackendXTree, core.PolicyTSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ScanFingerprints(single, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := sp.AppendedMiner(core.BackendXTree, core.PolicyTSF, 2, shard.HashPoint, appendPrefix(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScanFingerprints(appended, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff("sharded-appended", got, "unsharded", want); d != "" {
+		t.Fatalf("sharded appended engine diverged from the unsharded build:\n%s", d)
+	}
+}

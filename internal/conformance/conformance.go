@@ -119,6 +119,55 @@ func (sp Spec) ShardedMiner(backend core.Backend, policy core.Policy, shards int
 	return m, nil
 }
 
+// AppendedMiner builds the spec's miner over only the first prefix
+// rows of the dataset and streams the remainder in through
+// core.Miner.WithAppended in several chunks — the live-ingestion path
+// POST /datasets/{name}/append takes. The HOS-Miner exactness contract
+// says the result must be indistinguishable, bit for bit, from a miner
+// built over the full dataset in one shot: same resolved threshold,
+// same priors, same encoded index, same answers.
+func (sp Spec) AppendedMiner(backend core.Backend, policy core.Policy, shards int, part shard.Partitioner, prefix int) (*core.Miner, error) {
+	ds, err := sp.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	if prefix <= 0 || prefix >= ds.N() {
+		return nil, fmt.Errorf("prefix %d outside (0,%d)", prefix, ds.N())
+	}
+	rows := make([][]float64, ds.N())
+	for i := range rows {
+		rows[i] = ds.Point(i)
+	}
+	base, err := vector.FromRows(rows[:prefix])
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMiner(base, core.Config{
+		K: sp.K, T: sp.T, TQuantile: sp.TQuantile,
+		SampleSize: sp.SampleSize, Seed: sp.Seed,
+		Backend: backend, Policy: policy,
+		Shards: shards, Partitioner: part,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Preprocess(); err != nil {
+		return nil, err
+	}
+	// Two uneven chunks so the incremental path runs more than once and
+	// the second append lands on an already-appended index.
+	mid := prefix + (ds.N()-prefix)/3
+	for _, chunk := range [][][]float64{rows[prefix:mid], rows[mid:]} {
+		if len(chunk) == 0 {
+			continue
+		}
+		if m, err = m.WithAppended(chunk); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
 // RestoredMiner builds the spec's miner, pushes it through a full
 // snapshot round trip — capture, binary encode, decode, restore — and
 // returns the warm-started twin. Everything travels through the real

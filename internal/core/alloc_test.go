@@ -96,6 +96,44 @@ func TestQueryBatchSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestQueryBatchParallelZeroAlloc: the multi-worker fan-out path,
+// recycling its BatchResult, allocates nothing once warm either — the
+// coordination machinery (cursor, WaitGroup, error slots, the worker
+// func value) lives in the recycled batchRun and goroutine descriptors
+// come from the runtime's free list. This was ~23 allocs/op before the
+// fan-out state moved into BatchResult.
+func TestQueryBatchParallelZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the budget holds only uninstrumented")
+	}
+	m := allocTestMiner(t)
+	queries := make([]BatchQuery, 32)
+	for i := range queries {
+		queries[i] = BatchIndex(i % 16) // duplicates exercise the shared cache
+	}
+	opts := BatchOptions{Workers: 4}
+	for i := 0; i < 10; i++ {
+		res, err := m.QueryBatch(context.Background(), queries, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Reuse = res
+	}
+	n := testing.AllocsPerRun(50, func() {
+		res, err := m.QueryBatch(context.Background(), queries, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatal("batch items failed")
+		}
+		opts.Reuse = res
+	})
+	if n != 0 {
+		t.Fatalf("steady-state parallel QueryBatch allocates %v objects per batch, want 0", n)
+	}
+}
+
 // TestQueryBatchReuseInvalidatesPreviousResults documents the Reuse
 // contract: recycling a BatchResult overwrites the storage the
 // previous round's items pointed into, so retained slices must be

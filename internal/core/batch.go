@@ -119,6 +119,85 @@ type BatchResult struct {
 	// are carved from.
 	results []QueryResult
 	arenas  []resultArena
+	// run is the multi-worker fan-out machinery (work cursor,
+	// WaitGroup, per-worker error slots, the spawned func), kept here
+	// so the Reuse contract covers coordination state too: a recycled
+	// parallel batch re-arms it instead of allocating a fresh closure,
+	// error slice and boxed counters per call.
+	run batchRun
+}
+
+// batchRun is the coordination state of one multi-worker QueryBatch.
+// The transient fields (miner, ctx, queries, cache, pool) are armed at
+// the start of a parallel batch and cleared before QueryBatch returns,
+// so a retained BatchResult pins result storage only — never a context
+// or a cache. Workers draw their identity from seq and their next item
+// from next; both are reset per batch.
+type batchRun struct {
+	m       *Miner
+	ctx     context.Context
+	queries []BatchQuery
+	shared  *od.SharedCache
+	pool    *EvaluatorPool
+	res     *BatchResult
+	next    atomic.Int64
+	seq     atomic.Int64
+	wg      sync.WaitGroup
+	errs    []error
+	// work is r.worker as a func value, bound once per BatchResult
+	// lifetime: `go r.work()` spawns without re-allocating the closure
+	// every batch the way `go func(){...}()` in the loop would.
+	work func()
+}
+
+// arm prepares the run for one parallel batch of the given width.
+func (r *batchRun) arm(m *Miner, ctx context.Context, queries []BatchQuery, shared *od.SharedCache, pool *EvaluatorPool, res *BatchResult, workers int) {
+	r.m, r.ctx, r.queries, r.shared, r.pool, r.res = m, ctx, queries, shared, pool, res
+	r.next.Store(0)
+	r.seq.Store(0)
+	if cap(r.errs) < workers {
+		r.errs = make([]error, workers)
+	} else {
+		r.errs = r.errs[:workers]
+		clear(r.errs)
+	}
+	if r.work == nil {
+		r.work = r.worker
+	}
+}
+
+// disarm drops the transient references armed for the batch.
+func (r *batchRun) disarm() {
+	r.m, r.ctx, r.queries, r.shared, r.pool, r.res = nil, nil, nil, nil, nil, nil
+}
+
+// worker is one fan-out goroutine: claim an identity, borrow an
+// evaluator, then drain items off the shared cursor.
+func (r *batchRun) worker() {
+	defer r.wg.Done()
+	w := int(r.seq.Add(1)) - 1
+	eval, err := r.pool.Get()
+	if err != nil {
+		r.errs[w] = err
+		return
+	}
+	defer r.pool.Put(eval)
+	arena := &r.res.arenas[w]
+	for {
+		i := int(r.next.Add(1)) - 1
+		if i >= len(r.queries) {
+			return
+		}
+		if err := r.ctx.Err(); err != nil {
+			r.errs[w] = err
+			return
+		}
+		r.res.Items[i] = r.m.batchOne(r.ctx, eval, r.queries[i], r.shared, arena, &r.res.results[i])
+		if err := r.ctx.Err(); err != nil {
+			r.errs[w] = err
+			return
+		}
+	}
 }
 
 // reset prepares the result for a batch of n items over the given
@@ -236,9 +315,6 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	// res and pool are captured by the worker goroutines below; keeping
-	// them single-assignment lets the compiler capture them by value
-	// instead of boxing the variables on the heap every call.
 	res := resultFor(opts.Reuse)
 	res.reset(len(queries), workers)
 	if len(queries) == 0 {
@@ -268,42 +344,23 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 			}
 		}
 	} else {
-		var next atomic.Int64
-		errs := make([]error, workers)
-		var wg sync.WaitGroup
+		run := &res.run
+		run.arm(m, ctx, queries, shared, pool, res, workers)
+		run.wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(worker int) {
-				defer wg.Done()
-				eval, err := pool.Get()
-				if err != nil {
-					errs[worker] = err
-					return
-				}
-				defer pool.Put(eval)
-				arena := &res.arenas[worker]
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(queries) {
-						return
-					}
-					if err := ctx.Err(); err != nil {
-						errs[worker] = err
-						return
-					}
-					res.Items[i] = m.batchOne(ctx, eval, queries[i], shared, arena, &res.results[i])
-					if err := ctx.Err(); err != nil {
-						errs[worker] = err
-						return
-					}
-				}
-			}(w)
+			go run.work()
 		}
-		wg.Wait()
-		for _, err := range errs {
+		run.wg.Wait()
+		var failed error
+		for _, err := range run.errs {
 			if err != nil {
-				return nil, err
+				failed = err
+				break
 			}
+		}
+		run.disarm()
+		if failed != nil {
+			return nil, failed
 		}
 	}
 	for _, item := range res.Items {

@@ -97,3 +97,38 @@ func BenchmarkQueryBatchParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQueryBatchParallelReuse is the fan-out path in its
+// zero-allocation steady state: explicit multi-worker spread with
+// BatchOptions.Reuse recycling the result and the coordination
+// machinery (see batchRun). The allocs/op figure is gated at 0 by
+// benchjson and TestQueryBatchParallelZeroAlloc.
+func BenchmarkQueryBatchParallelReuse(b *testing.B) {
+	m := benchMiner(b, 0)
+	queries := make([]BatchQuery, 64)
+	for i := range queries {
+		queries[i] = BatchIndex(i % 32) // half duplicates
+	}
+	opts := BatchOptions{Workers: 4}
+	// Warm the pool, arenas and goroutine free list so the figure is
+	// the steady state, not amortized startup cost.
+	for i := 0; i < 5; i++ {
+		res, err := m.QueryBatch(context.Background(), queries, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Reuse = res
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.QueryBatch(context.Background(), queries, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatal("batch items failed")
+		}
+		opts.Reuse = res
+	}
+}

@@ -1,6 +1,10 @@
 package dataio
 
 import (
+	"hash/crc32"
+	"io"
+	"os"
+
 	"repro/internal/snapshot"
 )
 
@@ -21,4 +25,20 @@ func SaveSnapshot(path string, s *snapshot.Snapshot) error {
 // with errors matching snapshot.ErrSnapshot, never a panic.
 func LoadSnapshot(path string) (*snapshot.Snapshot, error) {
 	return snapshot.LoadFile(path)
+}
+
+// FileCRC32 returns the CRC-32 (IEEE) of the file's bytes, streamed —
+// the binding key a WAL header (wal.Header.BaseCRC) uses to tie a
+// delta log to the exact base snapshot it extends.
+func FileCRC32(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
 }

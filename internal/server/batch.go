@@ -73,6 +73,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// One epoch for the whole batch: items, cache lookups and the
+	// engine all see the same view even across a concurrent append.
+	v := d.view()
 	if len(req.Items) == 0 {
 		s.error(w, http.StatusBadRequest, "batch has no items")
 		return
@@ -99,14 +102,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// before taking the batch slot: a fully-cached batch costs nothing.
 	resp := &batchResponse{
 		Results:   make([]batchItemResponse, len(req.Items)),
-		Threshold: d.miner.Threshold(),
+		Threshold: v.miner.Threshold(),
 	}
 	var queries []core.BatchQuery // engine work, in compacted order
 	var queryPos []int            // queries[j] answers Results[queryPos[j]]
 	keys := make([]string, len(req.Items))
 	for i, item := range req.Items {
 		out := &resp.Results[i]
-		point, exclude, emsg := d.resolveQueryTarget(item.Index, item.Point)
+		point, exclude, emsg := v.resolveQueryTarget(item.Index, item.Point)
 		if emsg != "" {
 			out.Error = emsg
 			continue
@@ -117,7 +120,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Point = append([]float64(nil), point...)
 		}
 		keys[i] = cacheKey(point, exclude)
-		if cached, ok := d.cache.get(keys[i]); ok {
+		if cached, ok := v.cache.get(keys[i]); ok {
 			out.IsOutlier = cached.IsOutlier
 			out.Minimal = cached.Minimal
 			out.OutlyingCount = cached.OutlyingCount
@@ -170,9 +173,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 			}
-			res, err := d.miner.QueryBatch(ctx, queries, core.BatchOptions{
+			res, err := v.miner.QueryBatch(ctx, queries, core.BatchOptions{
 				Workers: workers,
-				Pool:    d.pool,
+				Pool:    v.pool,
 			})
 			permit.Release(outcomeFor(err), time.Since(computeStart))
 			done <- outcome{res, err}
@@ -239,7 +242,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if s.opts.MaxCachedMasks > 0 && len(qr.Outlying) > s.opts.MaxCachedMasks {
 				toCache.outlyingMasks = nil
 			}
-			d.cache.put(keys[queryPos[j]], toCache)
+			v.cache.put(keys[queryPos[j]], toCache)
 		}
 		resp.ODCacheHits = res.Cache.Hits
 		resp.ODCacheMisses = res.Cache.Misses

@@ -34,7 +34,7 @@ func benchServer(b *testing.B, opts Options) *Server {
 func BenchmarkQueryCold(b *testing.B) {
 	s := benchServer(b, Options{})
 	h := s.Handler()
-	n := s.def.miner.Dataset().N()
+	n := s.def.view().miner.Dataset().N()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		body := fmt.Sprintf(`{"index": %d}`, i%n)
@@ -73,7 +73,7 @@ func BenchmarkQueryCached(b *testing.B) {
 func BenchmarkQueryParallel(b *testing.B) {
 	s := benchServer(b, Options{CacheSize: -1}) // isolate compute path
 	h := s.Handler()
-	n := s.def.miner.Dataset().N()
+	n := s.def.view().miner.Dataset().N()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0

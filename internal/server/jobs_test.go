@@ -64,7 +64,7 @@ func TestScanJobLifecycle(t *testing.T) {
 	}
 
 	done := waitJob(t, s, submitted.ID, "done")
-	n := s.def.miner.Dataset().N()
+	n := s.def.view().miner.Dataset().N()
 	if done.Progress.Done != int64(n) || done.Progress.Total != int64(n) || done.Progress.Percent != 100 {
 		t.Fatalf("final progress = %+v, want %d/%d (100%%)", done.Progress, n, n)
 	}

@@ -1,0 +1,511 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// This file is the live-mutation face of the registry: datasets stop
+// being frozen at load time and accept streaming appends and
+// id-addressed deletions while serving queries.
+//
+//	POST   /datasets/{name}/append   {"rows": [[..],..]} → new epoch
+//	DELETE /datasets/{name}/rows     {"from_id","to_id"} or {"keep_last"}
+//	POST   /datasets/{name}/compact  fold WAL deltas into a fresh .snap (async job)
+//
+// Consistency model. Each mutation derives a complete replacement
+// view — core.Miner.WithAppended reuses the incremental X-tree and
+// shard append paths, so the result is bit-identical to a from-scratch
+// rebuild — and swaps the dataset's view pointer once the delta is
+// durable. In-flight queries hold the view they resolved and never
+// observe torn state; the epoch counter in /stats and /datasets is the
+// number of swaps.
+//
+// Durability. With -data-dir and -wal, the first mutation persists the
+// pre-mutation state as <name>.snap and opens <name>.wal beside it
+// (internal/wal); every mutation appends a CRC-framed delta record
+// BEFORE the new view becomes visible. A restart replays base + WAL to
+// the same state; compaction folds the deltas into a fresh base and
+// rotates the log. A crash between those two steps is safe either way:
+// the stale log fails its BaseCRC binding against the new base and is
+// ignored, because everything it carried is already in the snapshot.
+
+// view is one immutable epoch of a dataset's queryable state. Every
+// field is fixed at construction; mutations build a new view. The
+// evaluator pool and result cache live here, not on the entry, because
+// both are keyed to this miner's rows and threshold — answers from
+// epoch N must never serve epoch N+1.
+type view struct {
+	miner *core.Miner
+	pool  *core.EvaluatorPool
+	cache *resultCache
+	// transform mirrors dataset.transform (see there).
+	transform func([]float64) []float64
+	epoch     int64
+	// ids[i] is the stable ID of dataset row i — ascending, and what
+	// delete-by-range addresses. nextID is the next ID an append takes.
+	ids    []int64
+	nextID int64
+}
+
+// resolveQueryTarget turns a request's (index, point) pair — exactly
+// one must be set — into the evaluation point and self-exclusion
+// index, applying the dataset's point transform to ad-hoc vectors. It
+// is the single definition of request-level target validation, shared
+// by /query and every /batch item. A non-empty errMsg is a client
+// error.
+func (v *view) resolveQueryTarget(index *int, point []float64) (pt []float64, exclude int, errMsg string) {
+	ds := v.miner.Dataset()
+	switch {
+	case index != nil && point != nil:
+		return nil, -1, "set exactly one of \"index\" and \"point\""
+	case index != nil:
+		idx := *index
+		if idx < 0 || idx >= ds.N() {
+			return nil, -1, fmt.Sprintf("index %d out of range [0,%d)", idx, ds.N())
+		}
+		return ds.Point(idx), idx, ""
+	case point != nil:
+		if len(point) != ds.Dim() {
+			return nil, -1, fmt.Sprintf("point has %d dims, dataset has %d", len(point), ds.Dim())
+		}
+		if v.transform != nil {
+			point = v.transform(point)
+		}
+		return point, -1, ""
+	default:
+		return nil, -1, "set one of \"index\" (dataset row) or \"point\" (vector)"
+	}
+}
+
+// walActive reports whether mutations are write-ahead logged.
+func (s *Server) walActive() bool { return s.opts.WAL && s.opts.DataDir != "" }
+
+// walPath is the delta-log path for a dataset name.
+func (s *Server) walPath(name string) string {
+	return filepath.Join(s.opts.DataDir, name+walExt)
+}
+
+// walExt is the delta-log file suffix under DataDir, beside snapExt.
+const walExt = ".wal"
+
+// ---- request/response bodies ----
+
+type appendRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+type appendResponse struct {
+	Appended int   `json:"appended"`
+	N        int   `json:"n"`
+	Epoch    int64 `json:"epoch"`
+	// FirstID is the stable ID of the first appended row; the rest
+	// follow contiguously. IDs address DELETE /datasets/{name}/rows.
+	FirstID  int64 `json:"first_id"`
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+}
+
+type deleteRowsRequest struct {
+	// Either an explicit stable-ID range [FromID, ToID) …
+	FromID *int64 `json:"from_id,omitempty"`
+	ToID   *int64 `json:"to_id,omitempty"`
+	// … or retention: delete everything but the newest KeepLast rows.
+	KeepLast *int `json:"keep_last,omitempty"`
+}
+
+type deleteRowsResponse struct {
+	Deleted  int   `json:"deleted"`
+	N        int   `json:"n"`
+	Epoch    int64 `json:"epoch"`
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.resolveDataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	var req appendRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.error(w, http.StatusBadRequest, "\"rows\" is empty")
+		return
+	}
+
+	d.mut.Lock()
+	defer d.mut.Unlock()
+	v := d.view()
+	if n := v.miner.Dataset().N() + len(req.Rows); n > s.opts.MaxLoadPoints {
+		s.error(w, http.StatusBadRequest,
+			fmt.Sprintf("append would grow the dataset to %d points, exceeding the load limit %d", n, s.opts.MaxLoadPoints))
+		return
+	}
+	// Appended rows arrive in the same units as ad-hoc query vectors;
+	// a normalized dataset rescales them identically. The WAL records
+	// the post-transform values, so replay applies them literally.
+	rows := req.Rows
+	if d.transform != nil {
+		rows = make([][]float64, len(req.Rows))
+		for i, row := range req.Rows {
+			rows[i] = d.transform(row)
+		}
+	}
+	nm, err := v.miner.WithAppended(rows)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Durable before visible: the delta reaches the log (creating base
+	// snapshot + log on the first mutation) before the swap. A WAL
+	// failure leaves the old view serving and the dataset unchanged.
+	if s.walActive() {
+		if err := s.ensureWALLocked(d, v); err != nil {
+			s.error(w, http.StatusInternalServerError, fmt.Sprintf("wal: %v", err))
+			return
+		}
+		if err := d.wal.AppendRows(v.nextID, rows); err != nil {
+			s.error(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		d.walBytes.Store(d.wal.Size())
+		d.walRecords.Store(d.wal.Records())
+	}
+	ids := make([]int64, 0, len(v.ids)+len(rows))
+	ids = append(ids, v.ids...)
+	for i := range rows {
+		ids = append(ids, v.nextID+int64(i))
+	}
+	nv := s.newView(d, nm, v.epoch+1, ids, v.nextID+int64(len(rows)))
+	d.cur.Store(nv)
+	d.appends.Add(1)
+	d.appendedRows.Add(int64(len(rows)))
+	s.maybeCompact(d)
+	s.writeJSON(w, http.StatusOK, &appendResponse{
+		Appended: len(rows),
+		N:        nm.Dataset().N(),
+		Epoch:    nv.epoch,
+		FirstID:  v.nextID,
+		WALBytes: d.walBytes.Load(),
+	})
+}
+
+func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.resolveDataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	var req deleteRowsRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+
+	d.mut.Lock()
+	defer d.mut.Unlock()
+	v := d.view()
+	var fromID, toID int64
+	switch {
+	case req.KeepLast != nil:
+		if req.FromID != nil || req.ToID != nil {
+			s.error(w, http.StatusBadRequest, "set either \"keep_last\" or \"from_id\"+\"to_id\", not both")
+			return
+		}
+		k := *req.KeepLast
+		if k < 0 {
+			s.error(w, http.StatusBadRequest, fmt.Sprintf("keep_last = %d", k))
+			return
+		}
+		if k >= len(v.ids) {
+			s.error(w, http.StatusBadRequest,
+				fmt.Sprintf("keep_last = %d retains all %d rows; nothing to delete", k, len(v.ids)))
+			return
+		}
+		fromID, toID = v.ids[0], v.ids[len(v.ids)-k]
+	case req.FromID != nil && req.ToID != nil:
+		fromID, toID = *req.FromID, *req.ToID
+		if fromID < 0 || toID < fromID {
+			s.error(w, http.StatusBadRequest, fmt.Sprintf("invalid ID range [%d,%d)", fromID, toID))
+			return
+		}
+	default:
+		s.error(w, http.StatusBadRequest, "set \"from_id\"+\"to_id\" (stable ID range, end exclusive) or \"keep_last\"")
+		return
+	}
+	keep := make([]int, 0, len(v.ids))
+	for i, id := range v.ids {
+		if id < fromID || id >= toID {
+			keep = append(keep, i)
+		}
+	}
+	removed := len(v.ids) - len(keep)
+	if removed == 0 {
+		s.error(w, http.StatusBadRequest,
+			fmt.Sprintf("no rows with IDs in [%d,%d)", fromID, toID))
+		return
+	}
+	nm, err := v.miner.WithoutRows(keep)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.walActive() {
+		if err := s.ensureWALLocked(d, v); err != nil {
+			s.error(w, http.StatusInternalServerError, fmt.Sprintf("wal: %v", err))
+			return
+		}
+		if err := d.wal.AppendDelete(fromID, toID); err != nil {
+			s.error(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		d.walBytes.Store(d.wal.Size())
+		d.walRecords.Store(d.wal.Records())
+	}
+	ids := make([]int64, len(keep))
+	for i, g := range keep {
+		ids[i] = v.ids[g]
+	}
+	nv := s.newView(d, nm, v.epoch+1, ids, v.nextID)
+	d.cur.Store(nv)
+	d.deletes.Add(1)
+	d.deletedRows.Add(int64(removed))
+	s.maybeCompact(d)
+	s.writeJSON(w, http.StatusOK, &deleteRowsResponse{
+		Deleted:  removed,
+		N:        nm.Dataset().N(),
+		Epoch:    nv.epoch,
+		WALBytes: d.walBytes.Load(),
+	})
+}
+
+// handleCompact submits a compaction job: fold the dataset's WAL
+// deltas into a fresh base snapshot and rotate the log. 202 + job id.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.resolveDataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	if !s.walActive() {
+		s.error(w, http.StatusBadRequest, "WAL persistence is disabled (start hosserve with -data-dir and -wal)")
+		return
+	}
+	snap, err := s.jobs.Submit("compact", s.compactJob(d))
+	if err != nil {
+		s.error(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp := renderJob(snap)
+	w.Header().Set("Location", "/jobs/"+snap.ID)
+	s.writeJSON(w, http.StatusAccepted, &resp)
+}
+
+// ---- WAL machinery (caller holds d.mut unless noted) ----
+
+// ensureWALLocked engages persistence on first mutation: the current
+// (pre-mutation) state becomes the base snapshot and an empty log
+// bound to it opens for deltas.
+func (s *Server) ensureWALLocked(d *dataset, v *view) error {
+	if d.wal != nil {
+		return nil
+	}
+	if !validDatasetName(d.name) {
+		return fmt.Errorf("name %q is not snapshot-safe", d.name)
+	}
+	_, _, err := s.persistLocked(d, v)
+	return err
+}
+
+// persistLocked writes the view's state to <name>.snap and — when WAL
+// persistence is on — rotates <name>.wal to an empty log bound to the
+// new base. It is the one write path shared by first-mutation setup,
+// explicit saves and compaction, so the snapshot+log pair can never
+// disagree about which base the deltas extend.
+func (s *Server) persistLocked(d *dataset, v *view) (string, int64, error) {
+	snap, err := snapshot.Capture(d.name, d.prov, v.miner)
+	if err != nil {
+		return "", 0, err
+	}
+	snap.NormStats = d.normStats
+	path := filepath.Join(s.opts.DataDir, d.name+snapExt)
+	if err := dataio.SaveSnapshot(path, snap); err != nil {
+		return "", 0, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return "", 0, err
+	}
+	if s.walActive() {
+		crc, err := dataio.FileCRC32(path)
+		if err != nil {
+			return "", 0, err
+		}
+		nw, err := wal.Create(s.walPath(d.name), wal.Header{
+			Dim:     v.miner.Dataset().Dim(),
+			BaseCRC: crc,
+			NextID:  v.nextID,
+			BaseIDs: v.ids,
+		}, s.opts.WALSyncEach)
+		if err != nil {
+			return "", 0, err
+		}
+		if d.wal != nil {
+			_ = d.wal.Close()
+		}
+		d.wal = nw
+		d.walBytes.Store(nw.Size())
+		d.walRecords.Store(0)
+	}
+	return path, st.Size(), nil
+}
+
+// maybeCompact submits an auto-compaction job when the log has grown
+// past WALCompactBytes. Best-effort: a full job queue just means the
+// next mutation asks again.
+func (s *Server) maybeCompact(d *dataset) {
+	limit := s.opts.WALCompactBytes
+	if d.wal == nil || limit <= 0 || d.walBytes.Load() < limit {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	if _, err := s.jobs.Submit("compact", s.compactJob(d)); err != nil {
+		d.compacting.Store(false)
+		s.debugf("server: auto-compaction of %s not submitted: %v", d.name, err)
+	}
+}
+
+// compactJob folds the current view into a fresh base snapshot and
+// rotates the WAL. The crash windows are covered by the BaseCRC
+// binding: a new snapshot with the old log is detected stale on
+// restart, and the data the old log carried is inside the new base.
+func (s *Server) compactJob(d *dataset) func(ctx context.Context, report func(done, total int)) (any, error) {
+	return func(ctx context.Context, report func(done, total int)) (any, error) {
+		defer d.compacting.Store(false)
+		d.mut.Lock()
+		defer d.mut.Unlock()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		report(0, 1)
+		v := d.view()
+		path, size, err := s.persistLocked(d, v)
+		if err != nil {
+			return nil, err
+		}
+		d.compactions.Add(1)
+		report(1, 1)
+		s.debugf("server: compacted dataset %s into %s (%d bytes, epoch %d)", d.name, path, size, v.epoch)
+		return &saveDatasetResponse{Saved: d.name, File: path, Bytes: size}, nil
+	}
+}
+
+// attachWALLocked replays <name>.wal onto a freshly restored entry —
+// the warm-start path. The entry must not be serving yet (its view is
+// still the bare base restore). Returns the number of replayed
+// records. Failure modes:
+//   - no log, or a log bound to a different base (stale after a crash
+//     mid-compaction): nothing to do, serve the base;
+//   - torn tail: replay stops at the last valid record, the tail is
+//     truncated, the dataset serves everything up to it — logged, not
+//     fatal (satellite: crash-mid-append recovery);
+//   - corrupt header: error; the caller serves the base and says so.
+func (s *Server) attachWALLocked(d *dataset, snapPath string) (int, error) {
+	if !s.walActive() {
+		return 0, nil
+	}
+	wp := s.walPath(d.name)
+	if _, err := os.Stat(wp); errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	crc, err := dataio.FileCRC32(snapPath)
+	if err != nil {
+		return 0, err
+	}
+	lg, rep, err := wal.Open(wp, s.opts.WALSyncEach)
+	if err != nil {
+		return 0, err
+	}
+	v := d.view()
+	h := rep.Header
+	if h.BaseCRC != crc {
+		_ = lg.Close()
+		s.debugf("server: %s is bound to a different base snapshot (stale after compaction?), ignoring it", wp)
+		return 0, fmt.Errorf("%w: %s was written against a different %s", wal.ErrBaseMismatch, wp, snapPath)
+	}
+	if h.Dim != v.miner.Dataset().Dim() || len(h.BaseIDs) != v.miner.Dataset().N() {
+		_ = lg.Close()
+		return 0, fmt.Errorf("%w: %s header shape (%d ids, dim %d) does not match the snapshot (%d rows, dim %d)",
+			wal.ErrWAL, wp, len(h.BaseIDs), h.Dim, v.miner.Dataset().N(), v.miner.Dataset().Dim())
+	}
+	if rep.Torn {
+		s.debugf("server: %s had a torn trailing record; truncated to the last valid record (%d replayed)", wp, len(rep.Records))
+	}
+	m := v.miner
+	ids := append([]int64(nil), h.BaseIDs...)
+	nextID := h.NextID
+	for i, rec := range rep.Records {
+		switch rec.Type {
+		case wal.RecordAppend:
+			if m, err = m.WithAppended(rec.Rows); err != nil {
+				_ = lg.Close()
+				return 0, fmt.Errorf("%s record %d: %w", wp, i, err)
+			}
+			for j := range rec.Rows {
+				ids = append(ids, rec.FirstID+int64(j))
+			}
+			if end := rec.FirstID + int64(len(rec.Rows)); end > nextID {
+				nextID = end
+			}
+		case wal.RecordDelete:
+			keep := make([]int, 0, len(ids))
+			for j, id := range ids {
+				if id < rec.FromID || id >= rec.ToID {
+					keep = append(keep, j)
+				}
+			}
+			if len(keep) == len(ids) {
+				continue
+			}
+			if m, err = m.WithoutRows(keep); err != nil {
+				_ = lg.Close()
+				return 0, fmt.Errorf("%s record %d: %w", wp, i, err)
+			}
+			kept := make([]int64, len(keep))
+			for j, g := range keep {
+				kept[j] = ids[g]
+			}
+			ids = kept
+		}
+	}
+	d.cur.Store(s.newView(d, m, int64(len(rep.Records)), ids, nextID))
+	d.wal = lg
+	d.walBytes.Store(lg.Size())
+	d.walRecords.Store(lg.Records())
+	return len(rep.Records), nil
+}
+
+// AttachDefaultWAL replays the default dataset's delta log on top of
+// the default.snap the process restored from. hosserve calls it only
+// on the snapshot-restore boot path — after -gen/-data, a lingering
+// default.wal belongs to a previous dataset and must not be applied
+// (its BaseCRC check would reject it anyway). Returns the number of
+// replayed records. Errors mean the base is serving without its
+// deltas; the caller decides whether that is fatal.
+func (s *Server) AttachDefaultWAL() (int, error) {
+	d := s.def
+	d.mut.Lock()
+	defer d.mut.Unlock()
+	return s.attachWALLocked(d, filepath.Join(s.opts.DataDir, d.name+snapExt))
+}

@@ -1,0 +1,462 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataio"
+)
+
+// Tests for the live-mutation surface: streaming appends, id-range
+// deletion, WAL persistence across restarts (clean, torn, compacted)
+// and the concurrent append hammer the -race CI lane runs.
+
+// appendJSON builds an append body for n rows of dim d, deterministic
+// in seed so restart comparisons see the same data.
+func appendJSON(n, d int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	body := `{"rows":[`
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body += ","
+		}
+		body += "["
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				body += ","
+			}
+			body += fmt.Sprintf("%.6f", rng.Float64())
+		}
+		body += "]"
+	}
+	return body + "]}"
+}
+
+// restartFromSnapshot plays the hosserve snapshot-restore boot: load
+// <data-dir>/default.snap, restore the miner, build a fresh server
+// over the same dir and replay the default WAL. Returns the server
+// and the number of replayed records.
+func restartFromSnapshot(t *testing.T, dir string, opts Options) (*Server, int) {
+	t.Helper()
+	snap, err := dataio.LoadSnapshot(filepath.Join(dir, "default.snap"))
+	if err != nil {
+		t.Fatalf("loading default.snap: %v", err)
+	}
+	m, err := snap.Restore()
+	if err != nil {
+		t.Fatalf("restoring default.snap: %v", err)
+	}
+	opts.DataDir = dir
+	opts.NormStats = snap.NormStats
+	opts.PointTransform = transformFromNorm(snap.NormStats)
+	s, err := New(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerClose(t, s)
+	replayed, err := s.AttachDefaultWAL()
+	if err != nil {
+		t.Fatalf("attaching default WAL: %v", err)
+	}
+	return s, replayed
+}
+
+func TestAppendAndDeleteRows(t *testing.T) {
+	s := newTestServer(t, Options{CacheSize: -1})
+	h := s.Handler()
+	baseN := s.def.view().miner.Dataset().N()
+	baseScan := bodyOf(t, h, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`)
+
+	var ap appendResponse
+	rec := do(t, h, "POST", "/datasets/default/append", appendJSON(3, 5, 1), &ap)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if ap.Appended != 3 || ap.N != baseN+3 || ap.Epoch != 1 || ap.FirstID != int64(baseN) {
+		t.Fatalf("append response = %+v", ap)
+	}
+	// The appended rows are queryable by index immediately.
+	if rec := do(t, h, "POST", "/query", fmt.Sprintf(`{"index":%d}`, baseN+2), nil); rec.Code != http.StatusOK {
+		t.Fatalf("query appended row: %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	// Validation surface.
+	for name, body := range map[string]string{
+		"empty":     `{"rows":[]}`,
+		"wrong_dim": `{"rows":[[1,2]]}`,
+		"non_num":   `{"rows":[[1,2,3,4,"x"]]}`,
+	} {
+		if rec := do(t, h, "POST", "/datasets/default/append", body, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("append %s: %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+	for name, body := range map[string]string{
+		"no_selector": `{}`,
+		"half_range":  `{"from_id":0}`,
+		"bad_range":   fmt.Sprintf(`{"from_id":%d,"to_id":0}`, baseN),
+		"both":        fmt.Sprintf(`{"keep_last":1,"from_id":0,"to_id":%d}`, baseN),
+		"neg_keep":    `{"keep_last":-1}`,
+		"keep_all":    `{"keep_last":100000}`,
+		"empty_match": `{"from_id":900000,"to_id":900010}`,
+		"neg_from":    `{"from_id":-5,"to_id":3}`,
+	} {
+		if rec := do(t, h, "DELETE", "/datasets/default/rows", body, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("delete %s: %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Deleting exactly the appended ID range restores the original
+	// dataset — and the original answers, bit for bit.
+	var del deleteRowsResponse
+	rec = do(t, h, "DELETE", "/datasets/default/rows",
+		fmt.Sprintf(`{"from_id":%d,"to_id":%d}`, baseN, baseN+3), &del)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if del.Deleted != 3 || del.N != baseN || del.Epoch != 2 {
+		t.Fatalf("delete response = %+v", del)
+	}
+	if got := bodyOf(t, h, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`); got != baseScan {
+		t.Fatalf("append+delete round trip changed /scan:\n before: %s\n after:  %s", baseScan, got)
+	}
+
+	// keep_last retention addresses the newest rows by position.
+	do(t, h, "POST", "/datasets/default/append", appendJSON(5, 5, 2), nil)
+	rec = do(t, h, "DELETE", "/datasets/default/rows", fmt.Sprintf(`{"keep_last":%d}`, baseN), &del)
+	if rec.Code != http.StatusOK || del.Deleted != 5 || del.N != baseN {
+		t.Fatalf("keep_last: %d, %+v (%s)", rec.Code, del, rec.Body.String())
+	}
+
+	// Epoch and mutation ledger surface in /stats and /datasets.
+	st := s.Stats()
+	if len(st.Datasets) != 1 {
+		t.Fatalf("dataset stats: %+v", st.Datasets)
+	}
+	live := st.Datasets[0].Live
+	if live.Epoch != 4 || live.Appends != 2 || live.AppendedRows != 8 ||
+		live.Deletes != 2 || live.DeletedRows != 8 || live.NextID != int64(baseN+8) {
+		t.Fatalf("live stats = %+v", live)
+	}
+	var list listDatasetsResponse
+	do(t, h, "GET", "/datasets", "", &list)
+	if len(list.Datasets) != 1 || list.Datasets[0].Epoch != 4 {
+		t.Fatalf("dataset listing = %+v", list.Datasets)
+	}
+}
+
+func TestAppendWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{DataDir: dir, WAL: true, CacheSize: -1})
+	h1 := s1.Handler()
+	baseN := s1.def.view().miner.Dataset().N()
+
+	// Two appends and a delete: three WAL records over one base.
+	do(t, h1, "POST", "/datasets/default/append", appendJSON(4, 5, 10), nil)
+	do(t, h1, "POST", "/datasets/default/append", appendJSON(3, 5, 11), nil)
+	var del deleteRowsResponse
+	rec := do(t, h1, "DELETE", "/datasets/default/rows",
+		fmt.Sprintf(`{"from_id":%d,"to_id":%d}`, baseN+2, baseN+5), &del)
+	if rec.Code != http.StatusOK || del.Deleted != 3 {
+		t.Fatalf("delete: %d, %+v", rec.Code, del)
+	}
+	for _, f := range []string{"default.snap", "default.wal"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("%s missing after mutations: %v", f, err)
+		}
+	}
+	live := s1.Stats().Datasets[0].Live
+	if live.WALRecords != 3 || live.WALBytes <= 0 {
+		t.Fatalf("live stats = %+v", live)
+	}
+	wantScan := bodyOf(t, h1, "POST", "/scan", `{"max_results":12,"sort_by_severity":true}`)
+	wantQuery := bodyOf(t, h1, "POST", "/query", fmt.Sprintf(`{"index":%d}`, baseN+3))
+
+	// Restart: base snapshot + WAL replay must reproduce the exact
+	// serving state, answers included.
+	s2, replayed := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed != 3 {
+		t.Fatalf("replayed %d records, want 3", replayed)
+	}
+	h2 := s2.Handler()
+	if got := bodyOf(t, h2, "POST", "/scan", `{"max_results":12,"sort_by_severity":true}`); got != wantScan {
+		t.Fatalf("/scan diverged across restart:\n before: %s\n after:  %s", wantScan, got)
+	}
+	if got := bodyOf(t, h2, "POST", "/query", fmt.Sprintf(`{"index":%d}`, baseN+3)); got != wantQuery {
+		t.Fatalf("/query diverged across restart:\n before: %s\n after:  %s", wantQuery, got)
+	}
+	v2 := s2.def.view()
+	if v2.epoch != 3 || v2.miner.Dataset().N() != baseN+4 || v2.nextID != int64(baseN+7) {
+		t.Fatalf("restored view: epoch=%d n=%d nextID=%d", v2.epoch, v2.miner.Dataset().N(), v2.nextID)
+	}
+
+	// The replayed log stays appendable: mutate on s2, restart again,
+	// and the chain replays to the longer state.
+	do(t, h2, "POST", "/datasets/default/append", appendJSON(2, 5, 12), nil)
+	want2 := bodyOf(t, h2, "POST", "/scan", `{"max_results":12,"sort_by_severity":true}`)
+	s3, replayed3 := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed3 != 4 {
+		t.Fatalf("second restart replayed %d records, want 4", replayed3)
+	}
+	if got := bodyOf(t, s3.Handler(), "POST", "/scan", `{"max_results":12,"sort_by_severity":true}`); got != want2 {
+		t.Fatalf("/scan diverged across second restart")
+	}
+}
+
+func TestWarmStartReplaysWAL(t *testing.T) {
+	s1, dir := newSnapshotServer(t, Options{WAL: true, CacheSize: -1})
+	h1 := s1.Handler()
+	load := `{"name":"live","gen":"synthetic","n":120,"d":4,"planted":3,"seed":21,"k":4,"tq":0.9,"shards":2,"backend":"xtree"}`
+	if rec := do(t, h1, "POST", "/datasets/load", load, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("load: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ap appendResponse
+	if rec := do(t, h1, "POST", "/datasets/live/append", appendJSON(6, 4, 30), &ap); rec.Code != http.StatusOK {
+		t.Fatalf("append: %d (%s)", rec.Code, rec.Body.String())
+	}
+	want := bodyOf(t, h1, "POST", "/scan", `{"dataset":"live","max_results":10,"sort_by_severity":true}`)
+
+	s2, err := New(newTestMiner(t), Options{DataDir: dir, WAL: true, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerClose(t, s2)
+	if n, err := s2.WarmStart(); err != nil || n != 1 {
+		t.Fatalf("warm start = (%d, %v), want (1, nil)", n, err)
+	}
+	h2 := s2.Handler()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := s2.Stats()
+		if st.Jobs.Completed+st.Jobs.Failed == 1 {
+			if st.Jobs.Failed != 0 {
+				t.Fatalf("warm start failed: %+v", st.Jobs)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("warm start never settled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := bodyOf(t, h2, "POST", "/scan", `{"dataset":"live","max_results":10,"sort_by_severity":true}`); got != want {
+		t.Fatalf("warm-started live dataset diverged:\n before: %s\n after:  %s", want, got)
+	}
+	for _, ds := range s2.Stats().Datasets {
+		if ds.Name == "live" && (ds.Live.Epoch != 1 || ds.Live.WALRecords != 1 || ds.N != 126) {
+			t.Fatalf("warm-started live stats = %+v", ds)
+		}
+	}
+}
+
+// TestTornWALWarmStart is the crash-mid-append drill: the trailing WAL
+// record is truncated on disk, and a restart must replay everything up
+// to the last valid record, truncate the tail, and keep serving — no
+// error, no refusal to boot.
+func TestTornWALWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{DataDir: dir, WAL: true, CacheSize: -1})
+	h1 := s1.Handler()
+	baseN := s1.def.view().miner.Dataset().N()
+	do(t, h1, "POST", "/datasets/default/append", appendJSON(4, 5, 40), nil)
+	afterFirst := bodyOf(t, h1, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`)
+	do(t, h1, "POST", "/datasets/default/append", appendJSON(3, 5, 41), nil)
+
+	// Tear the second record mid-payload, as a crash mid-write would.
+	wp := filepath.Join(dir, "default.wal")
+	raw, err := os.ReadFile(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wp, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, replayed := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed != 1 {
+		t.Fatalf("torn restart replayed %d records, want 1", replayed)
+	}
+	h2 := s2.Handler()
+	if n := s2.def.view().miner.Dataset().N(); n != baseN+4 {
+		t.Fatalf("torn restart N = %d, want %d", n, baseN+4)
+	}
+	if got := bodyOf(t, h2, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`); got != afterFirst {
+		t.Fatalf("torn restart serves wrong state:\n want: %s\n got:  %s", afterFirst, got)
+	}
+	// The torn tail was truncated, so the log is appendable again and a
+	// further restart replays the repaired chain.
+	do(t, h2, "POST", "/datasets/default/append", appendJSON(2, 5, 42), nil)
+	want := bodyOf(t, h2, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`)
+	s3, replayed3 := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed3 != 2 {
+		t.Fatalf("post-repair restart replayed %d records, want 2", replayed3)
+	}
+	if got := bodyOf(t, s3.Handler(), "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`); got != want {
+		t.Fatal("post-repair restart diverged")
+	}
+}
+
+func TestCompactionFoldsWALIntoBase(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{DataDir: dir, WAL: true, CacheSize: -1})
+	h1 := s1.Handler()
+	do(t, h1, "POST", "/datasets/default/append", appendJSON(5, 5, 50), nil)
+	do(t, h1, "POST", "/datasets/default/append", appendJSON(5, 5, 51), nil)
+	want := bodyOf(t, h1, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`)
+
+	rec := do(t, h1, "POST", "/datasets/default/compact", "", nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("compact: %d (%s)", rec.Code, rec.Body.String())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for s1.Stats().Datasets[0].Live.Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	live := s1.Stats().Datasets[0].Live
+	if live.WALRecords != 0 {
+		t.Fatalf("WAL not rotated by compaction: %+v", live)
+	}
+	// The rotated log replays zero records onto the fatter base — and
+	// the state is exactly what was serving before compaction.
+	s2, replayed := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed != 0 {
+		t.Fatalf("post-compaction restart replayed %d records, want 0", replayed)
+	}
+	if got := bodyOf(t, s2.Handler(), "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`); got != want {
+		t.Fatal("post-compaction restart diverged")
+	}
+	// Compaction without WAL persistence is a 400, not a queued no-op.
+	bare := newTestServer(t, Options{})
+	if rec := do(t, bare.Handler(), "POST", "/datasets/default/compact", "", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("compact without WAL: %d", rec.Code)
+	}
+}
+
+// TestAutoCompaction: a 1-byte budget forces maybeCompact to fire on
+// the first mutation that lands in the log.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{DataDir: dir, WAL: true, WALCompactBytes: 1, CacheSize: -1})
+	h := s.Handler()
+	do(t, h, "POST", "/datasets/default/append", appendJSON(2, 5, 60), nil)
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Stats().Datasets[0].Live.Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-compaction never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLiveAppendHammer is the -race lane's workload: concurrent
+// appends, deletions, queries, batches, compactions and evict/reload
+// churn against one server. Correctness here is "no race, no torn
+// view, ledger adds up" — epoch-pinned handlers must never observe a
+// half-swapped dataset.
+func TestLiveAppendHammer(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{DataDir: dir, WAL: true, CacheSize: 64})
+	h := s.Handler()
+	baseN := s.def.view().miner.Dataset().N()
+
+	const (
+		appenders    = 2
+		appendsEach  = 8
+		rowsPerBatch = 2
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	run := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			f()
+		}()
+	}
+	for a := 0; a < appenders; a++ {
+		seed := int64(100 + a)
+		run(func() {
+			for i := 0; i < appendsEach; i++ {
+				rec := do(t, h, "POST", "/datasets/default/append",
+					appendJSON(rowsPerBatch, 5, seed*1000+int64(i)), nil)
+				if rec.Code != http.StatusOK {
+					t.Errorf("hammer append: %d (%s)", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		})
+	}
+	run(func() { // retention deleter: racing keep_last may legitimately 400
+		for i := 0; i < 6; i++ {
+			do(t, h, "DELETE", "/datasets/default/rows", fmt.Sprintf(`{"keep_last":%d}`, baseN), nil)
+			time.Sleep(time.Millisecond)
+		}
+	})
+	for q := 0; q < 2; q++ {
+		run(func() {
+			for i := 0; i < 25; i++ {
+				// Index 0 is stable across every mutation in this test.
+				if rec := do(t, h, "POST", "/query", `{"index":0}`, nil); rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+					t.Errorf("hammer query: %d (%s)", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		})
+	}
+	run(func() {
+		for i := 0; i < 10; i++ {
+			body := `{"items":[{"index":0},{"index":1},{"index":2}]}`
+			if rec := do(t, h, "POST", "/batch", body, nil); rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+				t.Errorf("hammer batch: %d (%s)", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+	run(func() { // compaction churn; queue-full 503s are expected
+		for i := 0; i < 4; i++ {
+			do(t, h, "POST", "/datasets/default/compact", "", nil)
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+	run(func() { // evict/reload churn on a side dataset
+		for i := 0; i < 4; i++ {
+			load := fmt.Sprintf(`{"name":"churn","gen":"uniform","n":60,"d":3,"seed":%d,"k":3,"t":1.5}`, i)
+			if rec := do(t, h, "POST", "/datasets/load", load, nil); rec.Code != http.StatusCreated {
+				continue
+			}
+			do(t, h, "POST", "/query", `{"dataset":"churn","index":5}`, nil)
+			do(t, h, "POST", "/datasets/evict", `{"name":"churn"}`, nil)
+		}
+	})
+	close(start)
+	wg.Wait()
+	waitIdle(t, s)
+
+	// The ledger adds up: every append landed, N is base + appended −
+	// deleted, and nextID advanced monotonically by appended rows.
+	v := s.def.view()
+	live := s.Stats().Datasets[0].Live
+	wantAppended := int64(appenders * appendsEach * rowsPerBatch)
+	if live.Appends != appenders*appendsEach || live.AppendedRows != wantAppended {
+		t.Fatalf("append ledger = %+v, want %d appends of %d rows", live, appenders*appendsEach, wantAppended)
+	}
+	if live.NextID != int64(baseN)+wantAppended {
+		t.Fatalf("nextID = %d, want %d", live.NextID, int64(baseN)+wantAppended)
+	}
+	if got := int64(v.miner.Dataset().N()); got != int64(baseN)+wantAppended-live.DeletedRows {
+		t.Fatalf("N = %d, want base %d + appended %d - deleted %d", got, baseN, wantAppended, live.DeletedRows)
+	}
+	// And the survivor still answers.
+	if rec := do(t, h, "POST", "/query", `{"index":0}`, nil); rec.Code != http.StatusOK {
+		t.Fatalf("post-hammer query: %d (%s)", rec.Code, rec.Body.String())
+	}
+}

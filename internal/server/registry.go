@@ -15,6 +15,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/snapshot"
 	"repro/internal/subspace"
+	"repro/internal/wal"
 )
 
 // This file is the multi-dataset registry: a Server is no longer the
@@ -33,15 +34,17 @@ import (
 // can still stand up arbitrarily shaped datasets on a running
 // process.
 
-// dataset is one registry entry: a preprocessed miner plus the
-// per-dataset serving state. The miner (and its shard engine) are
-// immutable after construction; pool and cache are concurrency-safe;
-// queries is the per-dataset request counter surfaced in /stats.
+// dataset is one registry entry: the epoch-versioned serving state of
+// one named dataset. The queryable state — miner, evaluator pool,
+// result cache, stable row IDs — lives in an immutable view behind an
+// atomic pointer: readers pin the current view with one load and keep
+// using it for the whole request, so a concurrent append or delete
+// (which derives a complete replacement view and swaps the pointer)
+// can never show them torn data. Old views retire by garbage
+// collection when their last in-flight query drains.
 type dataset struct {
 	name    string
-	miner   *core.Miner
-	pool    *core.EvaluatorPool
-	cache   *resultCache
+	cur     atomic.Pointer[view]
 	queries atomic.Int64
 	// guard is the dataset's admission gate: circuit breaker + AIMD
 	// concurrency limiter (internal/overload). It is created with the
@@ -61,7 +64,31 @@ type dataset struct {
 	// the dataset was min-max normalized (nil otherwise); it rides
 	// into snapshots so a restore can rebuild the transform.
 	normStats []snapshot.ColumnRange
+
+	// mut serializes mutations — append, delete, compaction, save.
+	// Readers never take it; they go through cur. wal (guarded by mut)
+	// is the entry's delta log once WAL persistence has been engaged.
+	mut sync.Mutex
+	wal *wal.Log
+	// compacting gates auto-compaction so mutations do not pile up
+	// duplicate jobs while one is queued or running.
+	compacting atomic.Bool
+
+	// Mutation counters for /stats. walBytes/walRecords shadow the
+	// log's state atomically so a stats scrape never waits on a
+	// compaction holding mut.
+	appends      atomic.Int64
+	appendedRows atomic.Int64
+	deletes      atomic.Int64
+	deletedRows  atomic.Int64
+	compactions  atomic.Int64
+	walBytes     atomic.Int64
+	walRecords   atomic.Int64
 }
+
+// view returns the entry's current queryable state. Handlers call it
+// once per request and hold the result — that is the epoch pin.
+func (d *dataset) view() *view { return d.cur.Load() }
 
 // Typed registry failures. The HTTP layer maps these onto statuses —
 // 409 for conflicts, 404 for absences — and counts them apart from
@@ -219,6 +246,7 @@ type datasetInfo struct {
 	Shards      int     `json:"shards"`
 	Partitioner string  `json:"partitioner,omitempty"`
 	ShardSizes  []int   `json:"shard_sizes,omitempty"`
+	Epoch       int64   `json:"epoch"`
 	Queries     int64   `json:"queries"`
 	CreatedAt   string  `json:"created_at"`
 	Default     bool    `json:"default,omitempty"`
@@ -389,18 +417,38 @@ func (s *Server) buildDataset(req *loadRequest) (*dataset, error) {
 	return s.newDatasetEntry(req.Name, m, nil, nil, prov), nil
 }
 
-// newDatasetEntry wraps a preprocessed miner in its serving state.
+// newDatasetEntry wraps a preprocessed miner in its serving state at
+// epoch 0, with stable row IDs 0..N-1.
 func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]float64) []float64, norm []snapshot.ColumnRange, prov snapshot.Provenance) *dataset {
-	return &dataset{
+	d := &dataset{
 		name:      name,
-		miner:     m,
-		pool:      m.NewEvaluatorPool(),
-		cache:     newResultCache(s.opts.CacheSize),
 		guard:     overload.NewGuard(s.guardConfig()),
 		transform: transform,
 		created:   time.Now(),
 		prov:      prov,
 		normStats: norm,
+	}
+	n := m.Dataset().N()
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	d.cur.Store(s.newView(d, m, 0, ids, int64(n)))
+	return d
+}
+
+// newView wraps a preprocessed miner in one immutable queryable
+// epoch: its own evaluator pool and result cache (both are bound to
+// this miner's rows and threshold, so they cannot outlive the epoch).
+func (s *Server) newView(d *dataset, m *core.Miner, epoch int64, ids []int64, nextID int64) *view {
+	return &view{
+		miner:     m,
+		pool:      m.NewEvaluatorPool(),
+		cache:     newResultCache(s.opts.CacheSize),
+		transform: d.transform,
+		epoch:     epoch,
+		ids:       ids,
+		nextID:    nextID,
 	}
 }
 
@@ -431,21 +479,23 @@ func (s *Server) guardConfig() overload.Config {
 
 // info renders the entry for /datasets and /stats.
 func (d *dataset) info() datasetInfo {
-	cfg := d.miner.Config()
+	v := d.view()
+	cfg := v.miner.Config()
 	info := datasetInfo{
 		Name:      d.name,
-		N:         d.miner.Dataset().N(),
-		D:         d.miner.Dataset().Dim(),
+		N:         v.miner.Dataset().N(),
+		D:         v.miner.Dataset().Dim(),
 		K:         cfg.K,
-		Threshold: d.miner.Threshold(),
+		Threshold: v.miner.Threshold(),
 		Policy:    cfg.Policy.String(),
 		Backend:   cfg.Backend.String(),
-		Shards:    d.miner.NumShards(),
+		Shards:    v.miner.NumShards(),
+		Epoch:     v.epoch,
 		Queries:   d.queries.Load(),
 		CreatedAt: d.created.UTC().Format(time.RFC3339),
 		Default:   d.name == DefaultDatasetName,
 	}
-	if e := d.miner.ShardEngine(); e != nil {
+	if e := v.miner.ShardEngine(); e != nil {
 		info.Partitioner = e.Config().Partitioner.String()
 		info.ShardSizes = e.ShardSizes()
 	}
@@ -455,13 +505,25 @@ func (d *dataset) info() datasetInfo {
 // stats renders the entry for the /stats datasets section, including
 // the cumulative per-shard work counters and the overload guard.
 func (d *dataset) stats() DatasetStats {
+	v := d.view()
 	g := d.guard.Snapshot()
 	out := DatasetStats{
 		Name:    d.name,
-		N:       d.miner.Dataset().N(),
-		D:       d.miner.Dataset().Dim(),
-		Shards:  d.miner.NumShards(),
+		N:       v.miner.Dataset().N(),
+		D:       v.miner.Dataset().Dim(),
+		Shards:  v.miner.NumShards(),
 		Queries: d.queries.Load(),
+		Live: LiveStats{
+			Epoch:        v.epoch,
+			NextID:       v.nextID,
+			Appends:      d.appends.Load(),
+			AppendedRows: d.appendedRows.Load(),
+			Deletes:      d.deletes.Load(),
+			DeletedRows:  d.deletedRows.Load(),
+			Compactions:  d.compactions.Load(),
+			WALBytes:     d.walBytes.Load(),
+			WALRecords:   d.walRecords.Load(),
+		},
 		Overload: OverloadStats{
 			BreakerState:     g.Breaker.State.String(),
 			BreakerOpens:     g.Breaker.Opens,
@@ -475,7 +537,7 @@ func (d *dataset) stats() DatasetStats {
 			ShedCapacity:     g.ShedCapacity,
 		},
 	}
-	if e := d.miner.ShardEngine(); e != nil {
+	if e := v.miner.ShardEngine(); e != nil {
 		sizes := e.ShardSizes()
 		work := e.ShardStats()
 		out.PerShard = make([]ShardStats, len(sizes))

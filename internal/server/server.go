@@ -146,6 +146,22 @@ type Options struct {
 	// holds. Empty disables all three (the hosserve default without
 	// -data-dir).
 	DataDir string
+	// WAL enables write-ahead delta logging of live mutations (append
+	// and delete): a dataset's first mutation writes its pre-mutation
+	// state to <name>.snap and opens <name>.wal beside it; every
+	// mutation is journaled before its new view becomes visible, and
+	// warm starts replay base + deltas. Requires DataDir.
+	WAL bool
+	// WALSyncEach fsyncs the log after every record — full crash
+	// durability at the cost of one fsync per mutation (default off:
+	// the OS page cache decides, and a torn tail loses at most the
+	// final record).
+	WALSyncEach bool
+	// WALCompactBytes auto-submits a compaction job when a dataset's
+	// log outgrows this many bytes, folding the deltas into a fresh
+	// snapshot (default 4 MiB; negative disables auto-compaction —
+	// POST /datasets/{name}/compact still works).
+	WALCompactBytes int64
 	// Provenance describes where the default dataset came from, so
 	// saving it produces a snapshot that records its origin.
 	Provenance snapshot.Provenance
@@ -214,6 +230,9 @@ func (o *Options) setDefaults() {
 	if o.JobTimeout == 0 {
 		o.JobTimeout = 30 * time.Minute
 	}
+	if o.WALCompactBytes == 0 {
+		o.WALCompactBytes = 4 << 20
+	}
 }
 
 // Server is the HTTP face of a registry of preprocessed Miners: the
@@ -275,6 +294,9 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /datasets/load", s.handleLoadDataset)
 	s.mux.HandleFunc("POST /datasets/evict", s.handleEvictDataset)
 	s.mux.HandleFunc("POST /datasets/{name}/save", s.handleSaveDataset)
+	s.mux.HandleFunc("POST /datasets/{name}/append", s.handleAppendRows)
+	s.mux.HandleFunc("DELETE /datasets/{name}/rows", s.handleDeleteRows)
+	s.mux.HandleFunc("POST /datasets/{name}/compact", s.handleCompact)
 	return s, nil
 }
 
@@ -302,7 +324,7 @@ func (s *Server) Stats() StatsSnapshot {
 	entries := s.reg.list()
 	cacheEntries := 0
 	for _, d := range entries {
-		cacheEntries += d.cache.len()
+		cacheEntries += d.view().cache.len()
 	}
 	snap := s.stats.snapshot(cacheEntries, time.Since(s.started))
 	snap.Jobs = toJobStats(s.jobs.Counters())
@@ -400,14 +422,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	point, exclude, emsg := d.resolveQueryTarget(req.Index, req.Point)
+	// Pin the current epoch: every read below — target resolution,
+	// cache, evaluator pool, the miner itself — goes through this one
+	// view, so a concurrent append/delete swapping in a new epoch can
+	// never show this request a mix of old and new state.
+	v := d.view()
+	point, exclude, emsg := v.resolveQueryTarget(req.Index, req.Point)
 	if emsg != "" {
 		s.error(w, http.StatusBadRequest, emsg)
 		return
 	}
 
 	key := cacheKey(point, exclude)
-	if resp, ok := d.cache.get(key); ok {
+	if resp, ok := v.cache.get(key); ok {
 		// An entry whose full outlying set was too large to pin (see
 		// MaxCachedMasks) cannot serve include_all; fall through and
 		// recompute for that combination only.
@@ -481,15 +508,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		eval, err := d.pool.Get()
+		eval, err := v.pool.Get()
 		if err != nil {
 			finish(err)
 			done <- outcome{nil, err}
 			return
 		}
-		res, err := d.miner.QueryWith(eval, point, exclude)
+		res, err := v.miner.QueryWith(eval, point, exclude)
 		if err != nil {
-			d.pool.Put(eval)
+			v.pool.Put(eval)
 			finish(err)
 			done <- outcome{nil, err}
 			return
@@ -499,7 +526,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// borrower's query would overwrite it), since the response below
 		// is also retained by the LRU cache.
 		res = res.Clone()
-		d.pool.Put(eval)
+		v.pool.Put(eval)
 		resp := &queryResponse{
 			Index:         req.Index,
 			Threshold:     res.Threshold,
@@ -523,7 +550,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			stripped.outlyingMasks = nil
 			toCache = &stripped
 		}
-		d.cache.put(key, toCache)
+		v.cache.put(key, toCache)
 		s.stats.addODEvals(res.ODEvaluations)
 		finish(nil)
 		done <- outcome{resp, nil}
@@ -571,7 +598,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // half of the synchronous /scan handler and the async POST /jobs/scan
 // submission, so both admission paths apply identical bounds.
 type scanPlan struct {
-	d              *dataset
+	d *dataset
+	// v is the epoch pinned at planning time: the whole sweep runs
+	// over it even if the dataset mutates mid-scan.
+	v              *view
 	maxResults     int
 	workers        int
 	sortBySeverity bool
@@ -613,7 +643,7 @@ func (s *Server) planScan(w http.ResponseWriter, r *http.Request) (*scanPlan, bo
 	if workers == 0 || workers > maxWorkers {
 		workers = maxWorkers
 	}
-	plan := &scanPlan{d: d, maxResults: maxResults, workers: workers, sortBySeverity: req.SortBySeverity}
+	plan := &scanPlan{d: d, v: d.view(), maxResults: maxResults, workers: workers, sortBySeverity: req.SortBySeverity}
 	if fh := s.opts.FaultHook; fh != nil {
 		name := d.name
 		plan.hook = func() (time.Duration, error) { return fh("scan", name) }
@@ -629,7 +659,7 @@ func (p *scanPlan) run(ctx context.Context, start time.Time, onProgress func(don
 			return nil, err
 		}
 	}
-	hits, err := p.d.miner.ScanAllParallelContext(ctx, core.ScanOptions{
+	hits, err := p.v.miner.ScanAllParallelContext(ctx, core.ScanOptions{
 		MaxResults:     p.maxResults,
 		SortBySeverity: p.sortBySeverity,
 		OnProgress:     onProgress,
@@ -749,7 +779,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, err := d.miner.ExportState()
+	st, err := d.view().miner.ExportState()
 	if err != nil {
 		s.error(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -758,7 +788,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	m := s.def.miner
+	m := s.def.view().miner
 	cfg := m.Config()
 	s.writeJSON(w, http.StatusOK, &healthResponse{
 		Status:        "ok",
@@ -794,36 +824,6 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
-}
-
-// resolveQueryTarget turns a request's (index, point) pair — exactly
-// one must be set — into the evaluation point and self-exclusion
-// index, applying the dataset's point transform to ad-hoc vectors. It
-// is the single definition of request-level target validation, shared
-// by /query and every /batch item. A non-empty errMsg is a client
-// error.
-func (d *dataset) resolveQueryTarget(index *int, point []float64) (pt []float64, exclude int, errMsg string) {
-	ds := d.miner.Dataset()
-	switch {
-	case index != nil && point != nil:
-		return nil, -1, "set exactly one of \"index\" and \"point\""
-	case index != nil:
-		idx := *index
-		if idx < 0 || idx >= ds.N() {
-			return nil, -1, fmt.Sprintf("index %d out of range [0,%d)", idx, ds.N())
-		}
-		return ds.Point(idx), idx, ""
-	case point != nil:
-		if len(point) != ds.Dim() {
-			return nil, -1, fmt.Sprintf("point has %d dims, dataset has %d", len(point), ds.Dim())
-		}
-		if d.transform != nil {
-			point = d.transform(point)
-		}
-		return point, -1, ""
-	default:
-		return nil, -1, "set one of \"index\" (dataset row) or \"point\" (vector)"
-	}
 }
 
 // decodeBody parses the JSON request body under the configured size

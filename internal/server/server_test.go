@@ -120,11 +120,11 @@ func TestQueryByIndex(t *testing.T) {
 		t.Fatal("full outlying set included without include_all")
 	}
 	// The response must agree with a direct library query.
-	eval, err := s.def.miner.NewWorkerEvaluator()
+	eval, err := s.def.view().miner.NewWorkerEvaluator()
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := s.def.miner.QueryPointWith(eval, 3)
+	want, err := s.def.view().miner.QueryPointWith(eval, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestQueryByIndex(t *testing.T) {
 
 func TestQueryByPointAndIncludeAll(t *testing.T) {
 	s := newTestServer(t, Options{})
-	point := s.def.miner.Dataset().Point(5)
+	point := s.def.view().miner.Dataset().Point(5)
 	buf, _ := json.Marshal(map[string]any{"point": point, "include_all": true})
 	var resp queryResponse
 	rec := do(t, s.Handler(), "POST", "/query", string(buf), &resp)
@@ -148,7 +148,7 @@ func TestQueryByPointAndIncludeAll(t *testing.T) {
 	if len(resp.Outlying) != resp.OutlyingCount {
 		t.Fatalf("outlying has %d entries, count says %d", len(resp.Outlying), resp.OutlyingCount)
 	}
-	if len(resp.Point) != s.def.miner.Dataset().Dim() {
+	if len(resp.Point) != s.def.view().miner.Dataset().Dim() {
 		t.Fatalf("point echo has %d dims", len(resp.Point))
 	}
 }
@@ -221,7 +221,7 @@ func TestQueryCacheHit(t *testing.T) {
 		t.Fatalf("stats = hits %d misses %d queries %d, want 1/1/2", st.CacheHits, st.CacheMisses, st.Queries)
 	}
 	// An ad-hoc vector equal to the row (exclude differs) must NOT hit.
-	buf, _ := json.Marshal(map[string]any{"point": s.def.miner.Dataset().Point(7)})
+	buf, _ := json.Marshal(map[string]any{"point": s.def.view().miner.Dataset().Point(7)})
 	var third queryResponse
 	do(t, h, "POST", "/query", string(buf), &third)
 	if third.Cached {
@@ -243,7 +243,7 @@ func TestQueryTimeoutRetryConverges(t *testing.T) {
 		var resp queryResponse
 		rec := do(t, h, "POST", "/query", `{"index": 0}`, &resp)
 		if rec.Code == http.StatusOK {
-			if s.def.cache.len() == 0 {
+			if s.def.view().cache.len() == 0 {
 				t.Fatal("200 served but nothing cached")
 			}
 			return
@@ -268,7 +268,7 @@ func TestQuerySheddingWhenSaturated(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("capacity shed carried no Retry-After header")
 	}
-	if s.def.cache.len() != 0 {
+	if s.def.view().cache.len() != 0 {
 		t.Fatal("shed request must not have computed anything")
 	}
 	release()
@@ -542,12 +542,12 @@ func TestConcurrentQueriesRace(t *testing.T) {
 	h := s.Handler()
 	const points = 10
 	want := make([][]byte, points)
-	eval, err := s.def.miner.NewWorkerEvaluator()
+	eval, err := s.def.view().miner.NewWorkerEvaluator()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < points; i++ {
-		r, err := s.def.miner.QueryPointWith(eval, i)
+		r, err := s.def.view().miner.QueryPointWith(eval, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -706,8 +706,8 @@ func TestCacheDisabled(t *testing.T) {
 
 func TestBatchEndpoint(t *testing.T) {
 	s := newTestServer(t, Options{})
-	n := s.def.miner.Dataset().N()
-	point := s.def.miner.Dataset().Point(2)
+	n := s.def.view().miner.Dataset().N()
+	point := s.def.view().miner.Dataset().Point(2)
 	buf, _ := json.Marshal(map[string]any{"items": []map[string]any{
 		{"index": 0},
 		{"index": 7},
@@ -723,8 +723,8 @@ func TestBatchEndpoint(t *testing.T) {
 	if resp.Succeeded != 3 || resp.Failed != 2 {
 		t.Fatalf("succeeded/failed = %d/%d, want 3/2", resp.Succeeded, resp.Failed)
 	}
-	if resp.Threshold != s.def.miner.Threshold() {
-		t.Fatalf("threshold %v, want %v", resp.Threshold, s.def.miner.Threshold())
+	if resp.Threshold != s.def.view().miner.Threshold() {
+		t.Fatalf("threshold %v, want %v", resp.Threshold, s.def.view().miner.Threshold())
 	}
 	if !strings.Contains(resp.Results[3].Error, "out of range") {
 		t.Fatalf("item 3 error = %q", resp.Results[3].Error)
@@ -733,12 +733,12 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Fatalf("item 4 error = %q", resp.Results[4].Error)
 	}
 	// Every successful item must agree with the single-query path.
-	eval, err := s.def.miner.NewWorkerEvaluator()
+	eval, err := s.def.view().miner.NewWorkerEvaluator()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, idx := range []int{0, 7} {
-		want, err := s.def.miner.QueryPointWith(eval, idx)
+		want, err := s.def.view().miner.QueryPointWith(eval, idx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -749,7 +749,7 @@ func TestBatchEndpoint(t *testing.T) {
 			t.Fatalf("item %d diverged from library query", i)
 		}
 	}
-	wantExt, err := s.def.miner.QueryWith(eval, point, -1)
+	wantExt, err := s.def.view().miner.QueryWith(eval, point, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -777,7 +777,7 @@ func TestBatchValidation(t *testing.T) {
 		}
 	}
 	// Ambiguous and empty items fail per-item, not per-request.
-	point := s.def.miner.Dataset().Point(0)
+	point := s.def.view().miner.Dataset().Point(0)
 	buf, _ := json.Marshal(map[string]any{"items": []map[string]any{
 		{"index": 0, "point": point},
 		{},
@@ -893,12 +893,12 @@ func TestConcurrentBatchesRace(t *testing.T) {
 	h := s.Handler()
 	const points = 8
 	want := make([][]byte, points)
-	eval, err := s.def.miner.NewWorkerEvaluator()
+	eval, err := s.def.view().miner.NewWorkerEvaluator()
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < points; i++ {
-		r, err := s.def.miner.QueryPointWith(eval, i)
+		r, err := s.def.view().miner.QueryPointWith(eval, i)
 		if err != nil {
 			t.Fatal(err)
 		}

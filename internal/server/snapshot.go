@@ -41,7 +41,11 @@ type saveDatasetResponse struct {
 	Bytes int64  `json:"bytes"`
 }
 
-// handleSaveDataset persists one registry entry to the data dir.
+// handleSaveDataset persists one registry entry to the data dir. For
+// an entry with a live WAL this is a compaction: the snapshot absorbs
+// the deltas and the log rotates to an empty one bound to the new
+// base — saving the snapshot alone would orphan every later delta,
+// since the old log's BaseCRC binding would fail on restart.
 func (s *Server) handleSaveDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	d, ok := s.resolveDataset(w, name)
@@ -58,27 +62,15 @@ func (s *Server) handleSaveDataset(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, fmt.Sprintf("name %q is not snapshot-safe", d.name))
 		return
 	}
-	snap, err := snapshot.Capture(d.name, d.prov, d.miner)
+	d.mut.Lock()
+	path, size, err := s.persistLocked(d, d.view())
+	d.mut.Unlock()
 	if err != nil {
 		s.error(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// Normalization stats travel with the snapshot so a restore can
-	// rebuild the ad-hoc-point transform — without them, raw-unit
-	// client vectors would be compared unscaled against [0,1] data.
-	snap.NormStats = d.normStats
-	path := filepath.Join(s.opts.DataDir, d.name+snapExt)
-	if err := dataio.SaveSnapshot(path, snap); err != nil {
-		s.error(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	st, err := os.Stat(path)
-	if err != nil {
-		s.error(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.debugf("server: saved dataset %s to %s (%d bytes)", d.name, path, st.Size())
-	s.writeJSON(w, http.StatusOK, &saveDatasetResponse{Saved: d.name, File: path, Bytes: st.Size()})
+	s.debugf("server: saved dataset %s to %s (%d bytes)", d.name, path, size)
+	s.writeJSON(w, http.StatusOK, &saveDatasetResponse{Saved: d.name, File: path, Bytes: size})
 }
 
 // loadDatasetFromFile services the "file" arm of POST /datasets/load:
@@ -267,6 +259,18 @@ func (s *Server) warmStartJob(path, stem string) func(ctx context.Context, repor
 			return nil, err
 		}
 		d := s.newDatasetEntry(stem, m, transformFromNorm(snap.NormStats), snap.NormStats, snap.Provenance)
+		if s.walActive() {
+			// Replay any delta log bound to this base before the entry is
+			// visible; a missing/stale/foreign WAL serves the base alone.
+			d.mut.Lock()
+			replayed, werr := s.attachWALLocked(d, path)
+			d.mut.Unlock()
+			if werr != nil {
+				s.debugf("server: warm start %s: WAL not attached: %v", path, werr)
+			} else if replayed > 0 {
+				s.debugf("server: warm start %s: replayed %d WAL records", path, replayed)
+			}
+		}
 		if err := s.reg.add(d); err != nil {
 			return nil, err
 		}

@@ -194,12 +194,30 @@ type DatasetStats struct {
 	D       int    `json:"d"`
 	Shards  int    `json:"shards"`
 	Queries int64  `json:"queries"`
+	// Live is the dataset's streaming-mutation state: epoch counter,
+	// append/delete ledger and WAL occupancy.
+	Live LiveStats `json:"live"`
 	// Overload is the dataset's admission-guard state: breaker phase,
 	// current adaptive concurrency limit, and the shed ledger.
 	Overload OverloadStats `json:"overload"`
 	// PerShard is the cumulative per-shard k-NN work (nil for an
 	// unsharded dataset): one entry per shard.
 	PerShard []ShardStats `json:"per_shard,omitempty"`
+}
+
+// LiveStats is one dataset's streaming-mutation section of /stats.
+// Epoch counts view swaps (0 = never mutated); the WAL fields are 0
+// until persistence engages (first mutation with -data-dir and -wal).
+type LiveStats struct {
+	Epoch        int64 `json:"epoch"`
+	NextID       int64 `json:"next_id"`
+	Appends      int64 `json:"appends"`
+	AppendedRows int64 `json:"appended_rows"`
+	Deletes      int64 `json:"deletes"`
+	DeletedRows  int64 `json:"deleted_rows"`
+	Compactions  int64 `json:"compactions"`
+	WALBytes     int64 `json:"wal_bytes"`
+	WALRecords   int64 `json:"wal_records"`
 }
 
 // OverloadStats is one dataset's overload-guard section of /stats.

@@ -1,0 +1,437 @@
+// Package wal is the write-ahead delta log that makes live datasets
+// durable: a base snapshot (internal/snapshot's `.snap` file) plus a
+// sibling `.wal` file of CRC-checked append/delete records. The snap
+// format is deliberately untouched — its decoder rejects trailing
+// bytes, so deltas layer beside it, never inside it.
+//
+// Binding and layout. A log's header names the exact base it extends:
+// BaseCRC is the CRC-32 (IEEE) of the entire base snapshot file. A
+// compaction that folds the deltas into a fresh snapshot changes those
+// bytes, so any stale log left behind by a crash mid-compaction fails
+// the binding check and is ignored — the data it carried is already in
+// the new base. The header also carries the dataset's row-identity
+// state (the stable row IDs of the base rows and the next ID to
+// assign), so delete-by-ID ranges stay meaningful across restarts and
+// compactions.
+//
+// Integrity. Every record carries its payload length and CRC; the
+// header carries its own CRC. Replay stops at the first record that
+// fails to frame or checksum — a torn tail from a crash mid-write
+// loses at most the final record, and Open truncates the file back to
+// the last valid record before appending further. The decoder never
+// panics on arbitrary bytes (FuzzWALReplay enforces this) and bounds
+// every allocation by the remaining input.
+//
+// All integers are little-endian, matching the snapshot codec.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic opens every WAL file.
+const Magic = "HOSWAL01"
+
+// Version is the current format version.
+const Version = 1
+
+// Typed errors, wrapped so callers can errors.Is.
+var (
+	// ErrWAL is the root of every error this package returns.
+	ErrWAL = errors.New("wal: invalid log")
+	// ErrBadMagic: the file does not start with Magic.
+	ErrBadMagic = fmt.Errorf("%w: bad magic", ErrWAL)
+	// ErrVersion: a future (or garbage) format version.
+	ErrVersion = fmt.Errorf("%w: unsupported version", ErrWAL)
+	// ErrHeader: the header failed to frame or checksum.
+	ErrHeader = fmt.Errorf("%w: corrupt header", ErrWAL)
+	// ErrBaseMismatch is for callers to report (via errors.Is) when a
+	// log's BaseCRC does not match the snapshot it sits beside — a
+	// stale log from before a compaction.
+	ErrBaseMismatch = fmt.Errorf("%w: base snapshot mismatch", ErrWAL)
+)
+
+// RecordType discriminates delta records.
+type RecordType uint8
+
+const (
+	// RecordAppend adds rows to the end of the dataset.
+	RecordAppend RecordType = 1
+	// RecordDelete removes the rows whose stable IDs fall in
+	// [FromID, ToID).
+	RecordDelete RecordType = 2
+)
+
+// Header binds a log to its base snapshot and carries row identity.
+type Header struct {
+	// Dim is the dataset dimensionality (validates append records).
+	Dim int
+	// BaseCRC is the CRC-32 (IEEE) of the base snapshot file bytes.
+	BaseCRC uint32
+	// NextID is the next stable row ID to assign.
+	NextID int64
+	// BaseIDs are the stable IDs of the base snapshot's rows, in row
+	// order. Contiguous 0..N-1 right after a dataset first goes live;
+	// an arbitrary ascending subset after deletions and compactions.
+	BaseIDs []int64
+}
+
+// Record is one replayed delta. Exactly the fields of its Type are
+// meaningful.
+type Record struct {
+	Type RecordType
+	// Append: the rows added, and the stable ID assigned to the first
+	// one (the rest follow contiguously).
+	Rows    [][]float64
+	FirstID int64
+	// Delete: stable IDs in [FromID, ToID) were removed.
+	FromID int64
+	ToID   int64
+}
+
+// Fixed header prefix: magic + version(4) + dim(4) + baseCRC(4) +
+// nextID(8) + idCount(4). The ID array and the header CRC(4) follow.
+const headerFixed = len(Magic) + 4 + 4 + 4 + 8 + 4
+
+// Per-record frame: type(1) + payloadLen(4) + payloadCRC(4).
+const recordFrame = 1 + 4 + 4
+
+// maxRecordPayload caps a single record's payload; a frame declaring
+// more is treated as corruption (torn tail), not an allocation order.
+const maxRecordPayload = 1 << 30
+
+// encodeHeader renders the header block, CRC included.
+func encodeHeader(h Header) []byte {
+	buf := make([]byte, 0, headerFixed+len(h.BaseIDs)*8+4)
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, h.BaseCRC)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.NextID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.BaseIDs)))
+	for _, id := range h.BaseIDs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	crc := crc32.ChecksumIEEE(buf[len(Magic):])
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return buf
+}
+
+// decodeHeader parses and verifies the header block, returning the
+// header and the number of bytes it occupied.
+func decodeHeader(data []byte) (Header, int, error) {
+	var h Header
+	if len(data) < headerFixed {
+		return h, 0, fmt.Errorf("%w: %d bytes, need %d", ErrHeader, len(data), headerFixed)
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return h, 0, ErrBadMagic
+	}
+	off := len(Magic)
+	ver := binary.LittleEndian.Uint32(data[off:])
+	if ver != Version {
+		return h, 0, fmt.Errorf("%w: %d (have %d)", ErrVersion, ver, Version)
+	}
+	dim := binary.LittleEndian.Uint32(data[off+4:])
+	h.BaseCRC = binary.LittleEndian.Uint32(data[off+8:])
+	h.NextID = int64(binary.LittleEndian.Uint64(data[off+12:]))
+	count := binary.LittleEndian.Uint32(data[off+20:])
+	if dim == 0 || dim > 1<<20 {
+		return h, 0, fmt.Errorf("%w: dimensionality %d", ErrHeader, dim)
+	}
+	h.Dim = int(dim)
+	end := headerFixed + int(count)*8 + 4
+	if count > uint32(len(data)/8) || len(data) < end {
+		return h, 0, fmt.Errorf("%w: truncated ID table", ErrHeader)
+	}
+	want := binary.LittleEndian.Uint32(data[end-4:])
+	if crc32.ChecksumIEEE(data[len(Magic):end-4]) != want {
+		return h, 0, fmt.Errorf("%w: checksum mismatch", ErrHeader)
+	}
+	h.BaseIDs = make([]int64, count)
+	for i := range h.BaseIDs {
+		h.BaseIDs[i] = int64(binary.LittleEndian.Uint64(data[headerFixed+i*8:]))
+	}
+	if h.NextID < 0 {
+		return h, 0, fmt.Errorf("%w: negative next ID", ErrHeader)
+	}
+	prev := int64(-1)
+	for _, id := range h.BaseIDs {
+		if id <= prev || id >= h.NextID {
+			return h, 0, fmt.Errorf("%w: ID table not ascending below next ID", ErrHeader)
+		}
+		prev = id
+	}
+	return h, end, nil
+}
+
+// encodeRecord renders one framed record.
+func encodeRecord(typ RecordType, payload []byte) []byte {
+	buf := make([]byte, 0, recordFrame+len(payload))
+	buf = append(buf, byte(typ))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// decodeRecord parses one record at data[off:]. ok=false means the
+// bytes from off on do not form a complete valid record — the torn
+// tail (or trailing garbage, indistinguishable by design).
+func decodeRecord(data []byte, off, dim int) (Record, int, bool) {
+	var rec Record
+	if len(data)-off < recordFrame {
+		return rec, 0, false
+	}
+	typ := RecordType(data[off])
+	plen := binary.LittleEndian.Uint32(data[off+1:])
+	pcrc := binary.LittleEndian.Uint32(data[off+5:])
+	if plen > maxRecordPayload || len(data)-off-recordFrame < int(plen) {
+		return rec, 0, false
+	}
+	payload := data[off+recordFrame : off+recordFrame+int(plen)]
+	if crc32.ChecksumIEEE(payload) != pcrc {
+		return rec, 0, false
+	}
+	rec.Type = typ
+	switch typ {
+	case RecordAppend:
+		if len(payload) < 12 {
+			return rec, 0, false
+		}
+		count := binary.LittleEndian.Uint32(payload)
+		rec.FirstID = int64(binary.LittleEndian.Uint64(payload[4:]))
+		if count == 0 || rec.FirstID < 0 {
+			return rec, 0, false
+		}
+		if uint64(len(payload)-12) != uint64(count)*uint64(dim)*8 {
+			return rec, 0, false
+		}
+		rec.Rows = make([][]float64, count)
+		p := 12
+		for i := range rec.Rows {
+			row := make([]float64, dim)
+			for j := range row {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(payload[p:]))
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return rec, 0, false
+				}
+				row[j] = v
+				p += 8
+			}
+			rec.Rows[i] = row
+		}
+	case RecordDelete:
+		if len(payload) != 16 {
+			return rec, 0, false
+		}
+		rec.FromID = int64(binary.LittleEndian.Uint64(payload))
+		rec.ToID = int64(binary.LittleEndian.Uint64(payload[8:]))
+		if rec.FromID < 0 || rec.ToID < rec.FromID {
+			return rec, 0, false
+		}
+	default:
+		return rec, 0, false
+	}
+	return rec, recordFrame + int(plen), true
+}
+
+// Replayed is the result of decoding a log image.
+type Replayed struct {
+	Header  Header
+	Records []Record
+	// ValidLen is the byte length of the valid prefix (header plus
+	// every intact record); Torn reports whether bytes beyond it were
+	// discarded (a truncated or corrupt trailing record).
+	ValidLen int64
+	Torn     bool
+}
+
+// Replay decodes a complete WAL image. Header-level corruption is an
+// error (nothing can be trusted); record-level corruption is not —
+// decoding stops at the last valid record and Torn is set, which is
+// the crash-mid-append recovery story. Replay never panics on
+// arbitrary input.
+func Replay(data []byte) (*Replayed, error) {
+	h, off, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	out := &Replayed{Header: h, ValidLen: int64(off)}
+	for off < len(data) {
+		rec, n, ok := decodeRecord(data, off, h.Dim)
+		if !ok {
+			out.Torn = true
+			return out, nil
+		}
+		out.Records = append(out.Records, rec)
+		off += n
+		out.ValidLen = int64(off)
+	}
+	return out, nil
+}
+
+// ReplayFile reads and decodes path.
+func ReplayFile(path string) (*Replayed, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(data)
+}
+
+// Log is an open WAL accepting appends. Not safe for concurrent use;
+// the serving layer serializes dataset mutations anyway.
+type Log struct {
+	f       *os.File
+	path    string
+	dim     int
+	size    int64
+	records int64
+	sync    bool
+}
+
+// Create atomically writes a fresh log containing only the header
+// (temp file + rename, so a crash never leaves a half-written header)
+// and opens it for appending. sync makes every subsequent append an
+// fsync'd durability point.
+func Create(path string, h Header, sync bool) (*Log, error) {
+	if h.Dim < 1 {
+		return nil, fmt.Errorf("wal: create: dimensionality %d", h.Dim)
+	}
+	buf := encodeHeader(h)
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return nil, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return nil, err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, path: path, dim: h.Dim, size: int64(len(buf)), sync: sync}, nil
+}
+
+// Open validates an existing log, replays it, truncates any torn tail
+// (so the next append starts on a clean boundary) and returns the log
+// positioned for appending plus everything replayed.
+func Open(path string, sync bool) (*Log, *Replayed, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := Replay(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep.Torn {
+		if err := os.Truncate(path, rep.ValidLen); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Log{
+		f:       f,
+		path:    path,
+		dim:     rep.Header.Dim,
+		size:    rep.ValidLen,
+		records: int64(len(rep.Records)),
+		sync:    sync,
+	}, rep, nil
+}
+
+// Path returns the file path of the log.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the current byte length of the valid log.
+func (l *Log) Size() int64 { return l.size }
+
+// Records returns how many records the log holds (replayed + appended).
+func (l *Log) Records() int64 { return l.records }
+
+// append frames, writes and (optionally) syncs one record.
+func (l *Log) append(typ RecordType, payload []byte) error {
+	buf := encodeRecord(typ, payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.size += int64(len(buf))
+	l.records++
+	return nil
+}
+
+// AppendRows journals an append of rows, the first of which received
+// stable ID firstID. Rows must match the log's dimensionality and be
+// finite — the same validation replay applies.
+func (l *Log) AppendRows(firstID int64, rows [][]float64) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("wal: append: no rows")
+	}
+	if firstID < 0 {
+		return fmt.Errorf("wal: append: negative first ID")
+	}
+	payload := make([]byte, 0, 12+len(rows)*l.dim*8)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rows)))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(firstID))
+	for i, row := range rows {
+		if len(row) != l.dim {
+			return fmt.Errorf("wal: append: row %d has %d values, want %d", i, len(row), l.dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("wal: append: row %d column %d is not finite", i, j)
+			}
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v))
+		}
+	}
+	return l.append(RecordAppend, payload)
+}
+
+// AppendDelete journals a deletion of stable IDs in [fromID, toID).
+func (l *Log) AppendDelete(fromID, toID int64) error {
+	if fromID < 0 || toID < fromID {
+		return fmt.Errorf("wal: delete: invalid ID range [%d,%d)", fromID, toID)
+	}
+	payload := make([]byte, 0, 16)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(fromID))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(toID))
+	return l.append(RecordDelete, payload)
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close closes the underlying file. The log is unusable afterwards.
+func (l *Log) Close() error { return l.f.Close() }
