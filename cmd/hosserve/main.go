@@ -31,6 +31,10 @@
 //	                     stream rows into a serving dataset (new epoch)
 //	DELETE /datasets/{name}/rows
 //	                     delete rows by stable-ID range or keep_last
+//	GET  /datasets/{name}/retention
+//	PUT  /datasets/{name}/retention
+//	                     read / set the per-dataset retention policy
+//	                     ({"max_age": "24h", "max_rows": 100000})
 //	POST /datasets/{name}/compact
 //	                     fold the dataset's WAL into a fresh snapshot
 //	GET  /state          export preprocessed state (?dataset=name)
@@ -66,6 +70,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/snapshot"
 	"repro/internal/vector"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -179,7 +184,7 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 		fs.PrintDefaults()
 	}
 	var cc cliConfig
-	var backend, policy, partitioner string
+	var backend, policy, partitioner, walSync string
 	fs.StringVar(&cc.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&cc.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	fs.StringVar(&cc.dataPath, "data", "", "CSV dataset path (use -data or -gen)")
@@ -202,8 +207,11 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	fs.StringVar(&cc.saveState, "save-state", "", "after preprocessing, save state to this JSON file")
 	fs.StringVar(&cc.dataDir, "data-dir", "", "snapshot directory: warm-start every *.snap in it at boot (background jobs), enable POST /datasets/{name}/save and file loads; with no -data/-gen, serve default.snap from it as the default dataset")
 	fs.BoolVar(&cc.srv.WAL, "wal", true, "with -data-dir: write-ahead log live mutations (POST /datasets/{name}/append, DELETE .../rows) beside each snapshot and replay the log on restart")
-	fs.BoolVar(&cc.srv.WALSyncEach, "wal-sync", false, "fsync the WAL after every mutation (durable through power loss, slower appends)")
+	fs.StringVar(&walSync, "wal-sync", "batch", "WAL fsync policy: batch (one fsync per coalesced append batch), always (fsync every record; durable through power loss), or interval=<duration> (time-coalesced; may lose acknowledged mutations inside the window)")
 	fs.Int64Var(&cc.srv.WALCompactBytes, "wal-compact-bytes", 0, "auto-compact a dataset's WAL into a fresh snapshot once it exceeds this size (default 4 MiB, negative disables)")
+	fs.DurationVar(&cc.srv.RetentionAge, "retention-age", 0, "expire dataset rows older than this via background sweeps (0 disables; override per dataset with PUT /datasets/{name}/retention)")
+	fs.IntVar(&cc.srv.RetentionRows, "retention-rows", 0, "cap each dataset's row count, expiring the oldest rows (0 disables; same per-dataset override)")
+	fs.DurationVar(&cc.srv.RetentionInterval, "retention-interval", 0, "cadence of the background retention sweeper (default 30s)")
 	fs.IntVar(&cc.srv.CacheSize, "cache", 0, "LRU result-cache entries (0 = default 1024, negative disables)")
 	fs.DurationVar(&cc.srv.QueryTimeout, "query-timeout", 0, "per-query deadline (default 10s)")
 	fs.DurationVar(&cc.srv.ScanTimeout, "scan-timeout", 0, "per-scan deadline (default 2m)")
@@ -231,6 +239,9 @@ func parseFlags(args []string, stderr io.Writer) (*cliConfig, error) {
 	cc.explicit = map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { cc.explicit[f.Name] = true })
 	var err error
+	if cc.srv.WALSync, err = wal.ParseSyncPolicy(walSync); err != nil {
+		return nil, err
+	}
 	if cc.miner.Backend, err = core.ParseBackend(backend); err != nil {
 		return nil, err
 	}

@@ -89,6 +89,63 @@ func TestShardedAppendedMatchesRebuilt(t *testing.T) {
 	}
 }
 
+// Every spec, both backends, unsharded: one coalesced
+// WithAppendedBatch of the same chunks ≡ the sequential WithAppended
+// chain ≡ a one-shot rebuild. This is the conformance backing for the
+// server's group-committed append drain, which folds every request
+// coalesced into a batch through a single WithAppendedBatch call.
+func TestBatchAppendedMatchesSequentialAndRebuilt(t *testing.T) {
+	for _, sp := range DefaultSpecs() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range Backends() {
+				batched, err := sp.BatchAppendedMiner(backend, core.PolicyTSF, 0, shard.RoundRobin, appendPrefix(sp))
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				sequential, err := sp.AppendedMiner(backend, core.PolicyTSF, 0, shard.RoundRobin, appendPrefix(sp))
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				assertAppendEqualsRebuild(t, batched, sequential)
+				rebuilt, err := sp.Miner(backend, core.PolicyTSF)
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				assertAppendEqualsRebuild(t, batched, rebuilt)
+			}
+		})
+	}
+}
+
+// Sharded engines, every width and both partitioners: the batched
+// append must route every coalesced row to its partition-assigned
+// shard exactly as the sequential path does.
+func TestShardedBatchAppendedMatchesRebuilt(t *testing.T) {
+	for _, sp := range []Spec{DefaultSpecs()[0], DefaultSpecs()[2]} {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range Backends() {
+				for _, width := range ShardWidths() {
+					for _, part := range Partitioners() {
+						batched, err := sp.BatchAppendedMiner(backend, core.PolicyTSF, width, part, appendPrefix(sp))
+						if err != nil {
+							t.Fatalf("%v/%d/%v: %v", backend, width, part, err)
+						}
+						rebuilt, err := sp.ShardedMiner(backend, core.PolicyTSF, width, part)
+						if err != nil {
+							t.Fatalf("%v/%d/%v: %v", backend, width, part, err)
+						}
+						assertAppendEqualsRebuild(t, batched, rebuilt)
+					}
+				}
+			}
+		})
+	}
+}
+
 // A sharded appended engine also agrees with the unsharded rebuilt
 // miner — closing the triangle append x shard x single-index.
 func TestShardedAppendedMatchesUnsharded(t *testing.T) {

@@ -127,37 +127,11 @@ func (sp Spec) ShardedMiner(backend core.Backend, policy core.Policy, shards int
 // built over the full dataset in one shot: same resolved threshold,
 // same priors, same encoded index, same answers.
 func (sp Spec) AppendedMiner(backend core.Backend, policy core.Policy, shards int, part shard.Partitioner, prefix int) (*core.Miner, error) {
-	ds, err := sp.Dataset()
+	m, chunks, err := sp.appendBase(backend, policy, shards, part, prefix)
 	if err != nil {
 		return nil, err
 	}
-	if prefix <= 0 || prefix >= ds.N() {
-		return nil, fmt.Errorf("prefix %d outside (0,%d)", prefix, ds.N())
-	}
-	rows := make([][]float64, ds.N())
-	for i := range rows {
-		rows[i] = ds.Point(i)
-	}
-	base, err := vector.FromRows(rows[:prefix])
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.NewMiner(base, core.Config{
-		K: sp.K, T: sp.T, TQuantile: sp.TQuantile,
-		SampleSize: sp.SampleSize, Seed: sp.Seed,
-		Backend: backend, Policy: policy,
-		Shards: shards, Partitioner: part,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := m.Preprocess(); err != nil {
-		return nil, err
-	}
-	// Two uneven chunks so the incremental path runs more than once and
-	// the second append lands on an already-appended index.
-	mid := prefix + (ds.N()-prefix)/3
-	for _, chunk := range [][][]float64{rows[prefix:mid], rows[mid:]} {
+	for _, chunk := range chunks {
 		if len(chunk) == 0 {
 			continue
 		}
@@ -166,6 +140,57 @@ func (sp Spec) AppendedMiner(backend core.Backend, policy core.Policy, shards in
 		}
 	}
 	return m, nil
+}
+
+// BatchAppendedMiner is AppendedMiner's coalesced twin: the same base
+// miner and the same chunks, but delivered in one
+// core.Miner.WithAppendedBatch call — the path the server's group
+// committed append drain takes when concurrent requests coalesce. The
+// exactness contract extends to it: one batched append of several
+// chunks must be indistinguishable from applying them sequentially,
+// and from a one-shot rebuild.
+func (sp Spec) BatchAppendedMiner(backend core.Backend, policy core.Policy, shards int, part shard.Partitioner, prefix int) (*core.Miner, error) {
+	m, chunks, err := sp.appendBase(backend, policy, shards, part, prefix)
+	if err != nil {
+		return nil, err
+	}
+	return m.WithAppendedBatch(chunks...)
+}
+
+// appendBase builds the prefix-rows base miner shared by AppendedMiner
+// and BatchAppendedMiner plus the remainder split into two uneven
+// chunks, so the incremental path runs more than once and the second
+// chunk lands on already-appended indices.
+func (sp Spec) appendBase(backend core.Backend, policy core.Policy, shards int, part shard.Partitioner, prefix int) (*core.Miner, [][][]float64, error) {
+	ds, err := sp.Dataset()
+	if err != nil {
+		return nil, nil, err
+	}
+	if prefix <= 0 || prefix >= ds.N() {
+		return nil, nil, fmt.Errorf("prefix %d outside (0,%d)", prefix, ds.N())
+	}
+	rows := make([][]float64, ds.N())
+	for i := range rows {
+		rows[i] = ds.Point(i)
+	}
+	base, err := vector.FromRows(rows[:prefix])
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.NewMiner(base, core.Config{
+		K: sp.K, T: sp.T, TQuantile: sp.TQuantile,
+		SampleSize: sp.SampleSize, Seed: sp.Seed,
+		Backend: backend, Policy: policy,
+		Shards: shards, Partitioner: part,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Preprocess(); err != nil {
+		return nil, nil, err
+	}
+	mid := prefix + (ds.N()-prefix)/3
+	return m, [][][]float64{rows[prefix:mid], rows[mid:]}, nil
 }
 
 // RestoredMiner builds the spec's miner, pushes it through a full

@@ -27,9 +27,12 @@ import (
 // TQuantile threshold and sampled learning resolve against the grown
 // dataset exactly as a from-scratch build would.
 
-// validateRows checks appended rows for shape and finiteness (a single
-// NaN would poison every distance it touches).
-func validateRows(rows [][]float64, dim int) error {
+// ValidateRows checks appended rows for shape and finiteness (a single
+// NaN would poison every distance it touches). Exported so the serving
+// layer's mutation coalescer can pre-validate each queued request
+// individually — one malformed request then fails alone instead of
+// poisoning the whole drained batch.
+func ValidateRows(rows [][]float64, dim int) error {
 	if len(rows) == 0 {
 		return fmt.Errorf("core: append: no rows")
 	}
@@ -58,7 +61,7 @@ func validateRows(rows [][]float64, dim int) error {
 // threshold and learning against the grown dataset, so the result is
 // byte-identical to a from-scratch build (see the file comment).
 func (m *Miner) WithAppended(rows [][]float64) (*Miner, error) {
-	if err := validateRows(rows, m.ds.Dim()); err != nil {
+	if err := ValidateRows(rows, m.ds.Dim()); err != nil {
 		return nil, err
 	}
 	newDS, err := m.ds.Append(rows...)
@@ -116,6 +119,33 @@ func (m *Miner) WithAppended(rows [][]float64) (*Miner, error) {
 		return nil, err
 	}
 	return nm, nil
+}
+
+// WithAppendedBatch returns a new preprocessed Miner over this Miner's
+// dataset extended by every batch, applied as one amortized step: rows
+// are validated per batch (so the caller can attribute a failure to
+// the request that carried it), routed to shards once, and the
+// threshold/priors re-resolved once — instead of once per batch the
+// way a WithAppended chain would. Exactness is inherited rather than
+// re-argued: conformance already pins that chunked WithAppended calls
+// equal a one-shot build, so applying the concatenation in one
+// WithAppended call sits between those two pinned points.
+func (m *Miner) WithAppendedBatch(batches ...[][]float64) (*Miner, error) {
+	total := 0
+	for bi, rows := range batches {
+		if err := ValidateRows(rows, m.ds.Dim()); err != nil {
+			return nil, fmt.Errorf("core: append batch %d: %w", bi, err)
+		}
+		total += len(rows)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: append: no rows")
+	}
+	all := make([][]float64, 0, total)
+	for _, rows := range batches {
+		all = append(all, rows...)
+	}
+	return m.WithAppended(all)
 }
 
 // WithoutRows returns a new preprocessed Miner over only the rows of

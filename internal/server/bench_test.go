@@ -67,6 +67,49 @@ func BenchmarkQueryCached(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendThroughput is the append lane of the bench gate: it
+// drives /append requests carrying 1, 16 and 256 rows against a
+// WAL-backed dataset and reports rows/s plus fsyncs/row (one
+// group-commit fsync per drained batch, amortized over its rows). The
+// CI gate holds batch=256 to ≥ 5x the batch=1 row throughput and to
+// under one fsync per row — the amortization the mutation pipeline
+// exists to provide. Auto-compaction is disabled so the WAL sync
+// counter is cumulative for the whole run.
+func BenchmarkAppendThroughput(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s := benchServer(b, Options{
+				DataDir: b.TempDir(), WAL: true, CacheSize: -1,
+				MaxLoadPoints: 50_000_000, WALCompactBytes: -1,
+			})
+			h := s.Handler()
+			body := appendJSON(batch, 8, int64(batch))
+			// The warm-up append engages persistence (base snapshot +
+			// WAL creation) outside the timed region.
+			req := httptest.NewRequest("POST", "/datasets/default/append", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("warm-up append: %d (%s)", rec.Code, rec.Body.String())
+			}
+			syncs0 := s.Stats().Datasets[0].Live.WALSyncs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/datasets/default/append", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("append: %d (%s)", rec.Code, rec.Body.String())
+				}
+			}
+			b.StopTimer()
+			rows := float64(b.N * batch)
+			b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(float64(s.Stats().Datasets[0].Live.WALSyncs-syncs0)/rows, "fsyncs/row")
+		})
+	}
+}
+
 // BenchmarkQueryParallel measures throughput with pooled evaluators
 // under GOMAXPROCS client goroutines over a working set larger than
 // trivially cacheable.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataio"
@@ -23,20 +24,31 @@ import (
 //	POST   /datasets/{name}/compact  fold WAL deltas into a fresh .snap (async job)
 //
 // Consistency model. Each mutation derives a complete replacement
-// view — core.Miner.WithAppended reuses the incremental X-tree and
-// shard append paths, so the result is bit-identical to a from-scratch
-// rebuild — and swaps the dataset's view pointer once the delta is
-// durable. In-flight queries hold the view they resolved and never
-// observe torn state; the epoch counter in /stats and /datasets is the
-// number of swaps.
+// view — core.Miner.WithAppendedBatch reuses the incremental X-tree
+// and shard append paths, so the result is bit-identical to a
+// from-scratch rebuild — and swaps the dataset's view pointer once
+// the delta is durable. In-flight queries hold the view they resolved
+// and never observe torn state; the epoch counter in /stats and
+// /datasets is the number of swaps.
+//
+// Group commit. Concurrent /append requests do not each pay the
+// rebuild: every handler enqueues its rows on the entry's pending
+// queue and races for the writer lock, and whoever wins drains the
+// whole queue as ONE mutation — one per-request validation pass, one
+// batched index rebuild, one WAL batch frame, one fsync, one epoch
+// swap. Each caller is unblocked only after its rows are durable and
+// visible, so the acknowledgment contract is unchanged; only the cost
+// is amortized. The epoch counter therefore advances once per drain,
+// not once per request (appends vs append_batches in /stats).
 //
 // Durability. With -data-dir and -wal, the first mutation persists the
 // pre-mutation state as <name>.snap and opens <name>.wal beside it
 // (internal/wal); every mutation appends a CRC-framed delta record
-// BEFORE the new view becomes visible. A restart replays base + WAL to
-// the same state; compaction folds the deltas into a fresh base and
-// rotates the log. A crash between those two steps is safe either way:
-// the stale log fails its BaseCRC binding against the new base and is
+// AND commits it (per the configured wal.SyncPolicy) BEFORE the new
+// view becomes visible. A restart replays base + WAL to the same
+// state; compaction folds the deltas into a fresh base and rotates
+// the log. A crash between those two steps is safe either way: the
+// stale log fails its BaseCRC binding against the new base and is
 // ignored, because everything it carried is already in the snapshot.
 
 // view is one immutable epoch of a dataset's queryable state. Every
@@ -53,7 +65,12 @@ type view struct {
 	epoch     int64
 	// ids[i] is the stable ID of dataset row i — ascending, and what
 	// delete-by-range addresses. nextID is the next ID an append takes.
+	// stamps[i] is row i's ingest time (Unix nanoseconds), parallel to
+	// ids and non-decreasing — rows only ever append at the end and
+	// delete preserves order, so "older than" is always a prefix, which
+	// is what lets the retention sweeper expire by ID range.
 	ids    []int64
+	stamps []int64
 	nextID int64
 }
 
@@ -131,6 +148,23 @@ type deleteRowsResponse struct {
 
 // ---- handlers ----
 
+// appendOp is one queued /append request: its pre-transformed rows
+// and the channel its handler waits on. done is buffered so the
+// draining handler can deliver an outcome to an op whose own handler
+// has not reached the writer lock yet, without blocking on it.
+type appendOp struct {
+	rows [][]float64
+	done chan appendOutcome
+}
+
+// appendOutcome is one op's result, decided under the drain: either a
+// success body or an error status + message.
+type appendOutcome struct {
+	resp   *appendResponse
+	status int
+	errMsg string
+}
+
 func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.resolveDataset(w, r.PathValue("name"))
 	if !ok {
@@ -144,18 +178,11 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, "\"rows\" is empty")
 		return
 	}
-
-	d.mut.Lock()
-	defer d.mut.Unlock()
-	v := d.view()
-	if n := v.miner.Dataset().N() + len(req.Rows); n > s.opts.MaxLoadPoints {
-		s.error(w, http.StatusBadRequest,
-			fmt.Sprintf("append would grow the dataset to %d points, exceeding the load limit %d", n, s.opts.MaxLoadPoints))
-		return
-	}
 	// Appended rows arrive in the same units as ad-hoc query vectors;
 	// a normalized dataset rescales them identically. The WAL records
 	// the post-transform values, so replay applies them literally.
+	// Transforming here — before the queue — keeps per-request work out
+	// of the serialized drain.
 	rows := req.Rows
 	if d.transform != nil {
 		rows = make([][]float64, len(req.Rows))
@@ -163,43 +190,160 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 			rows[i] = d.transform(row)
 		}
 	}
-	nm, err := v.miner.WithAppended(rows)
-	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
+
+	// Enqueue, then race for the writer lock. Whoever wins drains the
+	// whole pending queue as one batch; an op that finds its outcome
+	// already delivered when it acquires the lock was coalesced into an
+	// earlier drain. Either way the response is written only after this
+	// request's rows are durable and visible — group commit at the HTTP
+	// layer.
+	op := &appendOp{rows: rows, done: make(chan appendOutcome, 1)}
+	d.pendMu.Lock()
+	d.pending = append(d.pending, op)
+	d.pendMu.Unlock()
+
+	d.mut.Lock()
+	select {
+	case out := <-op.done:
+		d.mut.Unlock()
+		s.writeAppendOutcome(w, out)
+		return
+	default:
+	}
+	s.drainAppendsLocked(d)
+	d.mut.Unlock()
+	s.writeAppendOutcome(w, <-op.done)
+}
+
+func (s *Server) writeAppendOutcome(w http.ResponseWriter, out appendOutcome) {
+	if out.resp != nil {
+		s.writeJSON(w, http.StatusOK, out.resp)
 		return
 	}
-	// Durable before visible: the delta reaches the log (creating base
-	// snapshot + log on the first mutation) before the swap. A WAL
-	// failure leaves the old view serving and the dataset unchanged.
+	s.error(w, out.status, out.errMsg)
+}
+
+// stampAfter returns the ingest stamp for a mutation over v: the wall
+// clock, floored at the view's newest stamp so the stamp sequence
+// stays non-decreasing (the retention sweeper's prefix expiry relies
+// on that) even if the clock steps backwards.
+func stampAfter(v *view) int64 {
+	stamp := time.Now().UnixNano()
+	if n := len(v.stamps); n > 0 && v.stamps[n-1] > stamp {
+		stamp = v.stamps[n-1]
+	}
+	return stamp
+}
+
+// drainAppendsLocked applies every queued append as one amortized
+// mutation; the caller holds d.mut. Per-op validation runs first
+// (core.ValidateRows plus the cumulative load limit), so a malformed
+// request fails alone instead of poisoning the batch. The surviving
+// ops are applied through one core.WithAppendedBatch — one shard
+// routing pass, one X-tree unpack/insert/repack, one threshold
+// re-resolution — journaled as one WAL batch frame, made durable by
+// one Commit, and made visible by one epoch swap. Every drained op's
+// outcome is delivered before this returns.
+func (s *Server) drainAppendsLocked(d *dataset) {
+	d.pendMu.Lock()
+	ops := d.pending
+	d.pending = nil
+	d.pendMu.Unlock()
+	if len(ops) == 0 {
+		return
+	}
+	v := d.view()
+	dim := v.miner.Dataset().Dim()
+
+	accepted := make([]*appendOp, 0, len(ops))
+	total := 0
+	for _, op := range ops {
+		if err := core.ValidateRows(op.rows, dim); err != nil {
+			op.done <- appendOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
+			continue
+		}
+		if n := v.miner.Dataset().N() + total + len(op.rows); n > s.opts.MaxLoadPoints {
+			op.done <- appendOutcome{status: http.StatusBadRequest, errMsg: fmt.Sprintf(
+				"append would grow the dataset to %d points, exceeding the load limit %d", n, s.opts.MaxLoadPoints)}
+			continue
+		}
+		accepted = append(accepted, op)
+		total += len(op.rows)
+	}
+	if len(accepted) == 0 {
+		return
+	}
+	failAll := func(status int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		for _, op := range accepted {
+			op.done <- appendOutcome{status: status, errMsg: msg}
+		}
+	}
+	batches := make([][][]float64, len(accepted))
+	for i, op := range accepted {
+		batches[i] = op.rows
+	}
+	nm, err := v.miner.WithAppendedBatch(batches...)
+	if err != nil {
+		// Every batch already passed ValidateRows, so this is an
+		// engine-level refusal, not a malformed request.
+		failAll(http.StatusInternalServerError, "%v", err)
+		return
+	}
+	stamp := stampAfter(v)
+	// Durable before visible: the whole drain reaches the log as one
+	// CRC-framed batch record and one group-commit fsync before the
+	// swap. A WAL failure leaves the old view serving, the dataset
+	// unchanged, and every queued caller informed.
 	if s.walActive() {
 		if err := s.ensureWALLocked(d, v); err != nil {
-			s.error(w, http.StatusInternalServerError, fmt.Sprintf("wal: %v", err))
+			failAll(http.StatusInternalServerError, "wal: %v", err)
 			return
 		}
-		if err := d.wal.AppendRows(v.nextID, rows); err != nil {
-			s.error(w, http.StatusInternalServerError, err.Error())
+		recs := make([]wal.Record, len(accepted))
+		next := v.nextID
+		for i, op := range accepted {
+			recs[i] = wal.Record{Type: wal.RecordAppend, FirstID: next, Rows: op.rows}
+			next += int64(len(op.rows))
+		}
+		if err := d.wal.AppendBatch(stamp, recs); err != nil {
+			failAll(http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if err := d.wal.Commit(); err != nil {
+			failAll(http.StatusInternalServerError, "wal: %v", err)
 			return
 		}
 		d.walBytes.Store(d.wal.Size())
 		d.walRecords.Store(d.wal.Records())
+		d.walSyncs.Store(d.wal.Syncs())
 	}
-	ids := make([]int64, 0, len(v.ids)+len(rows))
+	ids := make([]int64, 0, len(v.ids)+total)
+	stamps := make([]int64, 0, len(v.stamps)+total)
 	ids = append(ids, v.ids...)
-	for i := range rows {
+	stamps = append(stamps, v.stamps...)
+	for i := 0; i < total; i++ {
 		ids = append(ids, v.nextID+int64(i))
+		stamps = append(stamps, stamp)
 	}
-	nv := s.newView(d, nm, v.epoch+1, ids, v.nextID+int64(len(rows)))
+	nv := s.newView(d, nm, v.epoch+1, ids, stamps, v.nextID+int64(total))
 	d.cur.Store(nv)
-	d.appends.Add(1)
-	d.appendedRows.Add(int64(len(rows)))
+	d.appends.Add(int64(len(accepted)))
+	d.appendedRows.Add(int64(total))
+	d.appendBatches.Add(1)
 	s.maybeCompact(d)
-	s.writeJSON(w, http.StatusOK, &appendResponse{
-		Appended: len(rows),
-		N:        nm.Dataset().N(),
-		Epoch:    nv.epoch,
-		FirstID:  v.nextID,
-		WALBytes: d.walBytes.Load(),
-	})
+	n := nm.Dataset().N()
+	firstID := v.nextID
+	for _, op := range accepted {
+		op.done <- appendOutcome{resp: &appendResponse{
+			Appended: len(op.rows),
+			N:        n,
+			Epoch:    nv.epoch,
+			FirstID:  firstID,
+			WALBytes: d.walBytes.Load(),
+		}}
+		firstID += int64(len(op.rows))
+	}
 }
 
 func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
@@ -223,8 +367,12 @@ func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k := *req.KeepLast
-		if k < 0 {
-			s.error(w, http.StatusBadRequest, fmt.Sprintf("keep_last = %d", k))
+		if k <= 0 {
+			// keep_last = 0 would mean "delete every row", which the
+			// engine refuses anyway (a dataset cannot go empty); it is a
+			// client error here, not the index panic it used to be.
+			s.error(w, http.StatusBadRequest,
+				fmt.Sprintf("keep_last = %d; must keep at least 1 row", k))
 			return
 		}
 		if k >= len(v.ids) {
@@ -243,50 +391,68 @@ func (s *Server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, "set \"from_id\"+\"to_id\" (stable ID range, end exclusive) or \"keep_last\"")
 		return
 	}
+	nv, removed, status, errMsg := s.deleteRangeLocked(d, v, fromID, toID)
+	if status != 0 {
+		s.error(w, status, errMsg)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, &deleteRowsResponse{
+		Deleted:  removed,
+		N:        nv.miner.Dataset().N(),
+		Epoch:    nv.epoch,
+		WALBytes: d.walBytes.Load(),
+	})
+}
+
+// deleteRangeLocked is the one delete path: it removes every row of
+// d's view v whose stable ID falls in [fromID, toID), journals the
+// deletion (Commit included — the group-commit durability point),
+// and swaps the new epoch in. Both the DELETE handler and the
+// retention sweeper go through it, so exactness (WithoutRows is a
+// full rebuild of the survivors) and durability ordering are argued
+// once. The caller holds d.mut. A non-zero status reports the failure
+// and the view is unchanged.
+func (s *Server) deleteRangeLocked(d *dataset, v *view, fromID, toID int64) (nv *view, removed, status int, errMsg string) {
 	keep := make([]int, 0, len(v.ids))
 	for i, id := range v.ids {
 		if id < fromID || id >= toID {
 			keep = append(keep, i)
 		}
 	}
-	removed := len(v.ids) - len(keep)
+	removed = len(v.ids) - len(keep)
 	if removed == 0 {
-		s.error(w, http.StatusBadRequest,
-			fmt.Sprintf("no rows with IDs in [%d,%d)", fromID, toID))
-		return
+		return nil, 0, http.StatusBadRequest, fmt.Sprintf("no rows with IDs in [%d,%d)", fromID, toID)
 	}
 	nm, err := v.miner.WithoutRows(keep)
 	if err != nil {
-		s.error(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, 0, http.StatusBadRequest, err.Error()
 	}
 	if s.walActive() {
 		if err := s.ensureWALLocked(d, v); err != nil {
-			s.error(w, http.StatusInternalServerError, fmt.Sprintf("wal: %v", err))
-			return
+			return nil, 0, http.StatusInternalServerError, fmt.Sprintf("wal: %v", err)
 		}
 		if err := d.wal.AppendDelete(fromID, toID); err != nil {
-			s.error(w, http.StatusInternalServerError, err.Error())
-			return
+			return nil, 0, http.StatusInternalServerError, err.Error()
+		}
+		if err := d.wal.Commit(); err != nil {
+			return nil, 0, http.StatusInternalServerError, fmt.Sprintf("wal: %v", err)
 		}
 		d.walBytes.Store(d.wal.Size())
 		d.walRecords.Store(d.wal.Records())
+		d.walSyncs.Store(d.wal.Syncs())
 	}
 	ids := make([]int64, len(keep))
+	stamps := make([]int64, len(keep))
 	for i, g := range keep {
 		ids[i] = v.ids[g]
+		stamps[i] = v.stamps[g]
 	}
-	nv := s.newView(d, nm, v.epoch+1, ids, v.nextID)
+	nv = s.newView(d, nm, v.epoch+1, ids, stamps, v.nextID)
 	d.cur.Store(nv)
 	d.deletes.Add(1)
 	d.deletedRows.Add(int64(removed))
 	s.maybeCompact(d)
-	s.writeJSON(w, http.StatusOK, &deleteRowsResponse{
-		Deleted:  removed,
-		N:        nm.Dataset().N(),
-		Epoch:    nv.epoch,
-		WALBytes: d.walBytes.Load(),
-	})
+	return nv, removed, 0, ""
 }
 
 // handleCompact submits a compaction job: fold the dataset's WAL
@@ -355,7 +521,7 @@ func (s *Server) persistLocked(d *dataset, v *view) (string, int64, error) {
 			BaseCRC: crc,
 			NextID:  v.nextID,
 			BaseIDs: v.ids,
-		}, s.opts.WALSyncEach)
+		}, s.opts.WALSync)
 		if err != nil {
 			return "", 0, err
 		}
@@ -365,6 +531,7 @@ func (s *Server) persistLocked(d *dataset, v *view) (string, int64, error) {
 		d.wal = nw
 		d.walBytes.Store(nw.Size())
 		d.walRecords.Store(0)
+		d.walSyncs.Store(0)
 	}
 	return path, st.Size(), nil
 }
@@ -433,7 +600,7 @@ func (s *Server) attachWALLocked(d *dataset, snapPath string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	lg, rep, err := wal.Open(wp, s.opts.WALSyncEach)
+	lg, rep, err := wal.Open(wp, s.opts.WALSync)
 	if err != nil {
 		return 0, err
 	}
@@ -454,6 +621,19 @@ func (s *Server) attachWALLocked(d *dataset, snapPath string) (int, error) {
 	}
 	m := v.miner
 	ids := append([]int64(nil), h.BaseIDs...)
+	// Ingest stamps do not survive a restart for base rows (the snap
+	// format does not carry them), so every base row re-stamps at
+	// replay time; replayed records keep their journaled batch stamp,
+	// clamped up to the base stamp so the sequence stays non-decreasing
+	// (legacy single-record frames carry stamp 0 and clamp the same
+	// way). Conservative in retention terms: a row can only expire
+	// later than its policy allows, never earlier.
+	replayStamp := time.Now().UnixNano()
+	stamps := make([]int64, len(ids))
+	for j := range stamps {
+		stamps[j] = replayStamp
+	}
+	lastStamp := replayStamp
 	nextID := h.NextID
 	for i, rec := range rep.Records {
 		switch rec.Type {
@@ -462,8 +642,14 @@ func (s *Server) attachWALLocked(d *dataset, snapPath string) (int, error) {
 				_ = lg.Close()
 				return 0, fmt.Errorf("%s record %d: %w", wp, i, err)
 			}
+			st := rec.Stamp
+			if st < lastStamp {
+				st = lastStamp
+			}
+			lastStamp = st
 			for j := range rec.Rows {
 				ids = append(ids, rec.FirstID+int64(j))
+				stamps = append(stamps, st)
 			}
 			if end := rec.FirstID + int64(len(rec.Rows)); end > nextID {
 				nextID = end
@@ -483,16 +669,19 @@ func (s *Server) attachWALLocked(d *dataset, snapPath string) (int, error) {
 				return 0, fmt.Errorf("%s record %d: %w", wp, i, err)
 			}
 			kept := make([]int64, len(keep))
+			keptStamps := make([]int64, len(keep))
 			for j, g := range keep {
 				kept[j] = ids[g]
+				keptStamps[j] = stamps[g]
 			}
-			ids = kept
+			ids, stamps = kept, keptStamps
 		}
 	}
-	d.cur.Store(s.newView(d, m, int64(len(rep.Records)), ids, nextID))
+	d.cur.Store(s.newView(d, m, int64(len(rep.Records)), ids, stamps, nextID))
 	d.wal = lg
 	d.walBytes.Store(lg.Size())
 	d.walRecords.Store(lg.Records())
+	d.walSyncs.Store(lg.Syncs())
 	return len(rep.Records), nil
 }
 

@@ -102,9 +102,11 @@ func TestAppendAndDeleteRows(t *testing.T) {
 		"bad_range":   fmt.Sprintf(`{"from_id":%d,"to_id":0}`, baseN),
 		"both":        fmt.Sprintf(`{"keep_last":1,"from_id":0,"to_id":%d}`, baseN),
 		"neg_keep":    `{"keep_last":-1}`,
+		"zero_keep":   `{"keep_last":0}`, // regression: used to panic indexing ids[len-0]
 		"keep_all":    `{"keep_last":100000}`,
 		"empty_match": `{"from_id":900000,"to_id":900010}`,
 		"neg_from":    `{"from_id":-5,"to_id":3}`,
+		"inverted":    `{"from_id":7,"to_id":3}`,
 	} {
 		if rec := do(t, h, "DELETE", "/datasets/default/rows", body, nil); rec.Code != http.StatusBadRequest {
 			t.Fatalf("delete %s: %d, want 400 (%s)", name, rec.Code, rec.Body.String())
@@ -356,6 +358,209 @@ func TestAutoCompaction(t *testing.T) {
 	}
 }
 
+// waitJobsSettled waits until the async job subsystem has nothing
+// queued or running, so counters mutated by jobs (retention sweeps,
+// compactions) are stable to assert against.
+func waitJobsSettled(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Jobs.Queued == 0 && st.Jobs.Running == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never settled: %+v", st.Jobs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAppendGroupCommit pins the coalescer's amortization contract:
+// concurrent /append requests that arrive while the writer lock is
+// held drain as ONE mutation — one epoch swap, one WAL batch frame,
+// one group-commit fsync — and every caller still gets its own
+// first_id, acknowledged only after its rows are durable. The test
+// holds the writer lock itself so all requests are parked on the
+// pending queue before any drain can start, making the coalescing
+// deterministic.
+func TestAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{DataDir: dir, WAL: true, CacheSize: -1})
+	h := s.Handler()
+	d := s.def
+	baseN := d.view().miner.Dataset().N()
+
+	const callers = 4
+	const rowsEach = 2
+
+	d.mut.Lock()
+	var wg sync.WaitGroup
+	resps := make([]appendResponse, callers)
+	codes := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := do(t, h, "POST", "/datasets/default/append",
+				appendJSON(rowsEach, 5, int64(70+i)), &resps[i])
+			codes[i] = rec.Code
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		d.pendMu.Lock()
+		queued := len(d.pending)
+		d.pendMu.Unlock()
+		if queued == callers {
+			break
+		}
+		if time.Now().After(deadline) {
+			d.mut.Unlock()
+			t.Fatalf("only %d/%d appends queued", queued, callers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.mut.Unlock()
+	wg.Wait()
+
+	// Every caller succeeded, saw the same post-drain state, and owns a
+	// distinct contiguous ID span.
+	firstIDs := map[int64]bool{}
+	for i := 0; i < callers; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("caller %d: status %d", i, codes[i])
+		}
+		r := resps[i]
+		if r.Appended != rowsEach || r.N != baseN+callers*rowsEach || r.Epoch != 1 {
+			t.Fatalf("caller %d response = %+v", i, r)
+		}
+		if r.FirstID < int64(baseN) || r.FirstID >= int64(baseN+callers*rowsEach) || (r.FirstID-int64(baseN))%rowsEach != 0 {
+			t.Fatalf("caller %d first_id = %d", i, r.FirstID)
+		}
+		if firstIDs[r.FirstID] {
+			t.Fatalf("first_id %d handed out twice", r.FirstID)
+		}
+		firstIDs[r.FirstID] = true
+	}
+
+	// The whole drain was one mutation: one epoch, one WAL frame, one
+	// fsync — not one per caller.
+	live := s.Stats().Datasets[0].Live
+	if live.Appends != callers || live.AppendedRows != callers*rowsEach || live.AppendBatches != 1 {
+		t.Fatalf("coalescing ledger = %+v", live)
+	}
+	if live.Epoch != 1 || live.WALRecords != 1 || live.WALSyncs != 1 {
+		t.Fatalf("drain was not one group commit: %+v", live)
+	}
+
+	// The batch frame replays: a restart flattens it back into the
+	// per-request records and reproduces the serving state exactly.
+	want := bodyOf(t, h, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`)
+	s2, replayed := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed != callers {
+		t.Fatalf("replayed %d records, want %d", replayed, callers)
+	}
+	if got := bodyOf(t, s2.Handler(), "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`); got != want {
+		t.Fatalf("group-committed batch diverged across restart:\n before: %s\n after:  %s", want, got)
+	}
+	if v2 := s2.def.view(); v2.nextID != int64(baseN+callers*rowsEach) {
+		t.Fatalf("restored nextID = %d, want %d", v2.nextID, baseN+callers*rowsEach)
+	}
+}
+
+// TestRetentionSweep drives the time-based retention subsystem end to
+// end: policy endpoints, row-cap and age expiry through the shared
+// delete path, the K+1 survivor floor, stats surfacing, and WAL
+// journaling of the sweeps across a restart.
+func TestRetentionSweep(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Options{DataDir: dir, WAL: true, CacheSize: -1})
+	h := s.Handler()
+	baseN := s.def.view().miner.Dataset().N()
+
+	// No policy: GET reports disabled and a sweep submits nothing.
+	var info retentionInfo
+	if rec := do(t, h, "GET", "/datasets/default/retention", "", &info); rec.Code != http.StatusOK || info.Enabled {
+		t.Fatalf("default retention = %d, %+v", rec.Code, info)
+	}
+	if n := s.sweepRetention(); n != 0 {
+		t.Fatalf("sweep with no policy submitted %d jobs", n)
+	}
+
+	// Validation surface.
+	for name, body := range map[string]string{
+		"neg_rows": `{"max_rows":-1}`,
+		"bad_age":  `{"max_age":"yesterday"}`,
+		"neg_age":  `{"max_age":"-1h"}`,
+	} {
+		if rec := do(t, h, "PUT", "/datasets/default/retention", body, nil); rec.Code != http.StatusBadRequest {
+			t.Fatalf("retention %s: %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Row cap: the sweep expires the oldest overflow, exactly.
+	if rec := do(t, h, "PUT", "/datasets/default/retention", `{"max_rows":100}`, &info); rec.Code != http.StatusOK || !info.Enabled || info.MaxRows != 100 {
+		t.Fatalf("set retention = %d, %+v", rec.Code, info)
+	}
+	if n := s.sweepRetention(); n != 1 {
+		t.Fatalf("sweep submitted %d jobs, want 1", n)
+	}
+	waitJobsSettled(t, s)
+	if st := s.Stats(); st.Jobs.Failed != 0 {
+		t.Fatalf("retention job failed: %+v", st.Jobs)
+	}
+	live := s.Stats().Datasets[0].Live
+	wantExpired := int64(baseN - 100)
+	if live.RetentionSweeps != 1 || live.RetentionExpiredRows != wantExpired ||
+		live.Deletes != 1 || live.DeletedRows != wantExpired || live.RetentionMaxRows != 100 {
+		t.Fatalf("post-sweep ledger = %+v, want %d expired", live, wantExpired)
+	}
+	if n := s.def.view().miner.Dataset().N(); n != 100 {
+		t.Fatalf("post-sweep N = %d, want 100", n)
+	}
+
+	// Nothing left to expire: the sweep is counted but deletes nothing.
+	if n := s.sweepRetention(); n != 1 {
+		t.Fatalf("second sweep submitted %d jobs, want 1", n)
+	}
+	waitJobsSettled(t, s)
+	live = s.Stats().Datasets[0].Live
+	if live.RetentionSweeps != 2 || live.Deletes != 1 || live.RetentionExpiredRows != wantExpired {
+		t.Fatalf("idle sweep mutated the ledger: %+v", live)
+	}
+
+	// Age expiry clamps at the K+1 survivor floor instead of emptying
+	// the dataset: with a 1ns horizon every row is expired, but the
+	// engine's minimum viable population survives.
+	if rec := do(t, h, "PUT", "/datasets/default/retention", `{"max_age":"1ns"}`, &info); rec.Code != http.StatusOK || info.MaxAge != "1ns" {
+		t.Fatalf("set max_age = %d, %+v", rec.Code, info)
+	}
+	if n := s.sweepRetention(); n != 1 {
+		t.Fatalf("age sweep submitted %d jobs, want 1", n)
+	}
+	waitJobsSettled(t, s)
+	floor := s.def.view().miner.Config().K + 1
+	if n := s.def.view().miner.Dataset().N(); n != floor {
+		t.Fatalf("age sweep left N = %d, want the K+1 floor %d", n, floor)
+	}
+	if live := s.Stats().Datasets[0].Live; live.RetentionMaxAge != "1ns" || live.RetentionMaxRows != 0 {
+		t.Fatalf("retention policy not surfaced in stats: %+v", live)
+	}
+
+	// Every sweep was journaled through the same WAL path as explicit
+	// deletes: a restart replays base + delete records to the same state.
+	want := bodyOf(t, h, "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`)
+	s2, replayed := restartFromSnapshot(t, dir, Options{WAL: true, CacheSize: -1})
+	if replayed != 2 {
+		t.Fatalf("restart replayed %d records, want 2 delete records", replayed)
+	}
+	if got := bodyOf(t, s2.Handler(), "POST", "/scan", `{"max_results":10,"sort_by_severity":true}`); got != want {
+		t.Fatalf("retention sweeps diverged across restart:\n before: %s\n after:  %s", want, got)
+	}
+}
+
 // TestLiveAppendHammer is the -race lane's workload: concurrent
 // appends, deletions, queries, batches, compactions and evict/reload
 // churn against one server. Correctness here is "no race, no torn
@@ -427,6 +632,17 @@ func TestLiveAppendHammer(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	})
+	run(func() { // retention churn: policy writes + sweeps on the shared delete path
+		if rec := do(t, h, "PUT", "/datasets/default/retention",
+			fmt.Sprintf(`{"max_rows":%d}`, baseN), nil); rec.Code != http.StatusOK {
+			t.Errorf("hammer retention policy: %d (%s)", rec.Code, rec.Body.String())
+			return
+		}
+		for i := 0; i < 4; i++ {
+			s.sweepRetention()
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
 	run(func() { // evict/reload churn on a side dataset
 		for i := 0; i < 4; i++ {
 			load := fmt.Sprintf(`{"name":"churn","gen":"uniform","n":60,"d":3,"seed":%d,"k":3,"t":1.5}`, i)
@@ -440,6 +656,9 @@ func TestLiveAppendHammer(t *testing.T) {
 	close(start)
 	wg.Wait()
 	waitIdle(t, s)
+	// Retention and compaction jobs may still be in flight; let them
+	// settle so the counters below are stable.
+	waitJobsSettled(t, s)
 
 	// The ledger adds up: every append landed, N is base + appended −
 	// deleted, and nextID advanced monotonically by appended rows.

@@ -65,25 +65,47 @@ type dataset struct {
 	// into snapshots so a restore can rebuild the transform.
 	normStats []snapshot.ColumnRange
 
-	// mut serializes mutations — append, delete, compaction, save.
-	// Readers never take it; they go through cur. wal (guarded by mut)
-	// is the entry's delta log once WAL persistence has been engaged.
+	// mut serializes mutations — append, delete, compaction, save,
+	// retention. Readers never take it; they go through cur. wal
+	// (guarded by mut) is the entry's delta log once WAL persistence
+	// has been engaged.
 	mut sync.Mutex
 	wal *wal.Log
 	// compacting gates auto-compaction so mutations do not pile up
-	// duplicate jobs while one is queued or running.
+	// duplicate jobs while one is queued or running; retaining does
+	// the same for retention sweeps.
 	compacting atomic.Bool
+	retaining  atomic.Bool
 
-	// Mutation counters for /stats. walBytes/walRecords shadow the
-	// log's state atomically so a stats scrape never waits on a
-	// compaction holding mut.
-	appends      atomic.Int64
-	appendedRows atomic.Int64
-	deletes      atomic.Int64
-	deletedRows  atomic.Int64
-	compactions  atomic.Int64
-	walBytes     atomic.Int64
-	walRecords   atomic.Int64
+	// pendMu guards pending — append requests queued for the next
+	// coalescer drain (see handleAppendRows). It is a leaf lock held
+	// only for the enqueue/steal instants, never across engine work,
+	// so enqueueing never waits on a rebuild in progress.
+	pendMu  sync.Mutex
+	pending []*appendOp
+
+	// retMu guards retention, the entry's expiry policy. It starts as
+	// the process-wide default (Options.RetentionAge/RetentionRows)
+	// and PUT /datasets/{name}/retention overrides it at runtime.
+	retMu     sync.Mutex
+	retention retentionConfig
+
+	// Mutation counters for /stats. walBytes/walRecords/walSyncs
+	// shadow the log's state atomically so a stats scrape never waits
+	// on a compaction holding mut.
+	appends       atomic.Int64
+	appendedRows  atomic.Int64
+	appendBatches atomic.Int64
+	deletes       atomic.Int64
+	deletedRows   atomic.Int64
+	compactions   atomic.Int64
+	walBytes      atomic.Int64
+	walRecords    atomic.Int64
+	walSyncs      atomic.Int64
+	// retentionSweeps counts completed sweep jobs (including no-op
+	// sweeps); retentionExpired counts the rows they deleted.
+	retentionSweeps  atomic.Int64
+	retentionExpired atomic.Int64
 }
 
 // view returns the entry's current queryable state. Handlers call it
@@ -418,7 +440,10 @@ func (s *Server) buildDataset(req *loadRequest) (*dataset, error) {
 }
 
 // newDatasetEntry wraps a preprocessed miner in its serving state at
-// epoch 0, with stable row IDs 0..N-1.
+// epoch 0, with stable row IDs 0..N-1. Every base row is stamped with
+// the load time: their true ingest times are unknown, and stamping
+// "now" is the conservative choice — retention can never expire a row
+// earlier than its policy allows, only later.
 func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]float64) []float64, norm []snapshot.ColumnRange, prov snapshot.Provenance) *dataset {
 	d := &dataset{
 		name:      name,
@@ -427,20 +452,26 @@ func (s *Server) newDatasetEntry(name string, m *core.Miner, transform func([]fl
 		created:   time.Now(),
 		prov:      prov,
 		normStats: norm,
+		retention: retentionConfig{MaxAge: s.opts.RetentionAge, MaxRows: s.opts.RetentionRows},
 	}
 	n := m.Dataset().N()
 	ids := make([]int64, n)
+	stamps := make([]int64, n)
+	now := time.Now().UnixNano()
 	for i := range ids {
 		ids[i] = int64(i)
+		stamps[i] = now
 	}
-	d.cur.Store(s.newView(d, m, 0, ids, int64(n)))
+	d.cur.Store(s.newView(d, m, 0, ids, stamps, int64(n)))
 	return d
 }
 
 // newView wraps a preprocessed miner in one immutable queryable
 // epoch: its own evaluator pool and result cache (both are bound to
 // this miner's rows and threshold, so they cannot outlive the epoch).
-func (s *Server) newView(d *dataset, m *core.Miner, epoch int64, ids []int64, nextID int64) *view {
+// ids and stamps are parallel (stamps non-decreasing — the retention
+// sweeper's prefix-expiry relies on it).
+func (s *Server) newView(d *dataset, m *core.Miner, epoch int64, ids, stamps []int64, nextID int64) *view {
 	return &view{
 		miner:     m,
 		pool:      m.NewEvaluatorPool(),
@@ -448,6 +479,7 @@ func (s *Server) newView(d *dataset, m *core.Miner, epoch int64, ids []int64, ne
 		transform: d.transform,
 		epoch:     epoch,
 		ids:       ids,
+		stamps:    stamps,
 		nextID:    nextID,
 	}
 }
@@ -514,15 +546,19 @@ func (d *dataset) stats() DatasetStats {
 		Shards:  v.miner.NumShards(),
 		Queries: d.queries.Load(),
 		Live: LiveStats{
-			Epoch:        v.epoch,
-			NextID:       v.nextID,
-			Appends:      d.appends.Load(),
-			AppendedRows: d.appendedRows.Load(),
-			Deletes:      d.deletes.Load(),
-			DeletedRows:  d.deletedRows.Load(),
-			Compactions:  d.compactions.Load(),
-			WALBytes:     d.walBytes.Load(),
-			WALRecords:   d.walRecords.Load(),
+			Epoch:                v.epoch,
+			NextID:               v.nextID,
+			Appends:              d.appends.Load(),
+			AppendedRows:         d.appendedRows.Load(),
+			AppendBatches:        d.appendBatches.Load(),
+			Deletes:              d.deletes.Load(),
+			DeletedRows:          d.deletedRows.Load(),
+			Compactions:          d.compactions.Load(),
+			WALBytes:             d.walBytes.Load(),
+			WALRecords:           d.walRecords.Load(),
+			WALSyncs:             d.walSyncs.Load(),
+			RetentionSweeps:      d.retentionSweeps.Load(),
+			RetentionExpiredRows: d.retentionExpired.Load(),
 		},
 		Overload: OverloadStats{
 			BreakerState:     g.Breaker.State.String(),
@@ -536,6 +572,12 @@ func (d *dataset) stats() DatasetStats {
 			ShedBreakerOpen:  g.ShedBreakerOpen,
 			ShedCapacity:     g.ShedCapacity,
 		},
+	}
+	if cfg := d.retentionCfg(); cfg.enabled() {
+		if cfg.MaxAge > 0 {
+			out.Live.RetentionMaxAge = cfg.MaxAge.String()
+		}
+		out.Live.RetentionMaxRows = cfg.MaxRows
 	}
 	if e := v.miner.ShardEngine(); e != nil {
 		sizes := e.ShardSizes()

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/overload"
 	"repro/internal/snapshot"
 	"repro/internal/subspace"
+	"repro/internal/wal"
 )
 
 // Options tunes a Server. The zero value selects the defaults noted
@@ -152,16 +154,33 @@ type Options struct {
 	// mutation is journaled before its new view becomes visible, and
 	// warm starts replay base + deltas. Requires DataDir.
 	WAL bool
-	// WALSyncEach fsyncs the log after every record — full crash
-	// durability at the cost of one fsync per mutation (default off:
-	// the OS page cache decides, and a torn tail loses at most the
-	// final record).
-	WALSyncEach bool
+	// WALSync is the log's fsync policy (hosserve's -wal-sync flag,
+	// parsed by wal.ParseSyncPolicy). The zero value — SyncBatch —
+	// issues one fsync per drained mutation batch at the group-commit
+	// point, so coalesced appends amortize durability; SyncAlways
+	// fsyncs every record frame; SyncInterval coalesces fsyncs in time
+	// and may lose acknowledged mutations inside the window on power
+	// failure (the documented trade).
+	WALSync wal.SyncPolicy
 	// WALCompactBytes auto-submits a compaction job when a dataset's
 	// log outgrows this many bytes, folding the deltas into a fresh
 	// snapshot (default 4 MiB; negative disables auto-compaction —
 	// POST /datasets/{name}/compact still works).
 	WALCompactBytes int64
+	// RetentionAge expires rows whose ingest stamp is older than this
+	// from every dataset (0 disables). It is the process-wide default;
+	// PUT /datasets/{name}/retention overrides per dataset. Expiry is
+	// exact: it runs through the same WAL-journaled delete path as
+	// DELETE /datasets/{name}/rows.
+	RetentionAge time.Duration
+	// RetentionRows caps every dataset's row count: a sweep that finds
+	// more deletes the oldest rows beyond the cap (0 disables; same
+	// per-dataset override as RetentionAge).
+	RetentionRows int
+	// RetentionInterval is the background sweep cadence (default 30s).
+	// Sweeps are async jobs (kind "retention"), visible under GET /jobs
+	// and counted per dataset in /stats.
+	RetentionInterval time.Duration
 	// Provenance describes where the default dataset came from, so
 	// saving it produces a snapshot that records its origin.
 	Provenance snapshot.Provenance
@@ -233,6 +252,9 @@ func (o *Options) setDefaults() {
 	if o.WALCompactBytes == 0 {
 		o.WALCompactBytes = 4 << 20
 	}
+	if o.RetentionInterval <= 0 {
+		o.RetentionInterval = 30 * time.Second
+	}
 }
 
 // Server is the HTTP face of a registry of preprocessed Miners: the
@@ -251,6 +273,11 @@ type Server struct {
 	loadSem chan struct{}
 	mux     *http.ServeMux
 	started time.Time
+	// retStop/retDone bracket the background retention sweeper's
+	// lifetime; retOnce makes shutdown idempotent.
+	retStop chan struct{}
+	retDone chan struct{}
+	retOnce sync.Once
 }
 
 // New builds a Server over the Miner, running Preprocess if the
@@ -297,14 +324,26 @@ func New(m *core.Miner, opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /datasets/{name}/append", s.handleAppendRows)
 	s.mux.HandleFunc("DELETE /datasets/{name}/rows", s.handleDeleteRows)
 	s.mux.HandleFunc("POST /datasets/{name}/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /datasets/{name}/retention", s.handleGetRetention)
+	s.mux.HandleFunc("PUT /datasets/{name}/retention", s.handleSetRetention)
+	s.retStop = make(chan struct{})
+	s.retDone = make(chan struct{})
+	go s.retentionLoop()
 	return s, nil
 }
 
-// Close drains the async job subsystem: queued jobs still run, and
-// Close blocks until the pool is idle or ctx expires, at which point
-// the stragglers are cancelled. Call it after the HTTP listener has
-// shut down so no new jobs can arrive mid-drain.
-func (s *Server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
+// Close stops the background retention sweeper, then drains the async
+// job subsystem: queued jobs still run, and Close blocks until the
+// pool is idle or ctx expires, at which point the stragglers are
+// cancelled. Call it after the HTTP listener has shut down so no new
+// jobs can arrive mid-drain.
+func (s *Server) Close(ctx context.Context) error {
+	s.retOnce.Do(func() {
+		close(s.retStop)
+		<-s.retDone
+	})
+	return s.jobs.Close(ctx)
+}
 
 // debugf emits a debug-level serving event through Options.Logf.
 func (s *Server) debugf(format string, args ...any) {

@@ -208,16 +208,29 @@ type DatasetStats struct {
 // LiveStats is one dataset's streaming-mutation section of /stats.
 // Epoch counts view swaps (0 = never mutated); the WAL fields are 0
 // until persistence engages (first mutation with -data-dir and -wal).
+// Appends counts client append operations; AppendBatches counts the
+// coalescer drains that applied them, so appends/append_batches is
+// the observed group-commit amortization factor. WALSyncs is the
+// log's cumulative fsync count (resets when compaction rotates the
+// log, like WALRecords).
 type LiveStats struct {
-	Epoch        int64 `json:"epoch"`
-	NextID       int64 `json:"next_id"`
-	Appends      int64 `json:"appends"`
-	AppendedRows int64 `json:"appended_rows"`
-	Deletes      int64 `json:"deletes"`
-	DeletedRows  int64 `json:"deleted_rows"`
-	Compactions  int64 `json:"compactions"`
-	WALBytes     int64 `json:"wal_bytes"`
-	WALRecords   int64 `json:"wal_records"`
+	Epoch         int64 `json:"epoch"`
+	NextID        int64 `json:"next_id"`
+	Appends       int64 `json:"appends"`
+	AppendedRows  int64 `json:"appended_rows"`
+	AppendBatches int64 `json:"append_batches"`
+	Deletes       int64 `json:"deletes"`
+	DeletedRows   int64 `json:"deleted_rows"`
+	Compactions   int64 `json:"compactions"`
+	WALBytes      int64 `json:"wal_bytes"`
+	WALRecords    int64 `json:"wal_records"`
+	WALSyncs      int64 `json:"wal_syncs"`
+	// The retention section: sweep jobs completed, rows they expired,
+	// and the currently effective policy (empty/zero = disabled).
+	RetentionSweeps      int64  `json:"retention_sweeps"`
+	RetentionExpiredRows int64  `json:"retention_expired_rows"`
+	RetentionMaxAge      string `json:"retention_max_age,omitempty"`
+	RetentionMaxRows     int    `json:"retention_max_rows,omitempty"`
 }
 
 // OverloadStats is one dataset's overload-guard section of /stats.

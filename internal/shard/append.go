@@ -113,3 +113,26 @@ func (e *Engine) Append(newDS *vector.Dataset) (*Engine, error) {
 	}
 	return ne, nil
 }
+
+// AppendBatch is the group-commit entry point: it grows the engine's
+// dataset by every batch of rows at once. All rows route to their
+// shards in one pass, so each touched shard pays its rebuild (one
+// xtree.Append unpack/insert/repack, or its first build past the auto
+// threshold) once per drain instead of once per queued batch, and
+// untouched shards are still shared wholesale. Exactness is Append's:
+// indistinguishable from NewEngine over the combined dataset.
+func (e *Engine) AppendBatch(batches ...[][]float64) (*Engine, error) {
+	total := 0
+	for _, rows := range batches {
+		total += len(rows)
+	}
+	all := make([][]float64, 0, total)
+	for _, rows := range batches {
+		all = append(all, rows...)
+	}
+	newDS, err := e.ds.Append(all...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: append batch: %w", err)
+	}
+	return e.Append(newDS)
+}

@@ -212,6 +212,135 @@ func TestEngineAppendSharesUntouchedShards(t *testing.T) {
 	}
 }
 
+// TestEngineAppendBatchEqualsChained: the group-commit entry point —
+// several queued row batches routed in one pass — matches both the
+// chained per-batch appends and a fresh engine over the combined data.
+func TestEngineAppendBatchEqualsChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const d = 4
+	base := randRows(rng, 180, d)
+	extra := randRows(rng, 45, d)
+	ds0, err := vector.FromRows(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []Partitioner{RoundRobin, HashPoint} {
+		for _, shards := range []int{1, 2, 7} {
+			cfg := Config{Shards: shards, Partitioner: part, Metric: vector.L2, Index: IndexXTree}
+			e, err := NewEngine(ds0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := e.AppendBatch(extra[:1], extra[1:20], extra[20:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			chained := e
+			ds := ds0
+			for _, chunk := range [][][]float64{extra[:1], extra[1:20], extra[20:]} {
+				ds = appendRows(t, ds, chunk)
+				chained, err = chained.Append(ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			fresh, err := NewEngine(ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engineEqual(t, batched, fresh)
+			engineEqual(t, batched, chained)
+		}
+	}
+}
+
+// TestEngineAppendEmptyBatch: an append that adds no rows (the
+// coalescer can drain into one after per-op validation rejects every
+// queued request) is a clean no-op epoch — same answers, no error.
+func TestEngineAppendEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const d = 3
+	ds0, err := vector.FromRows(randRows(rng, 50, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Shards: 2, Partitioner: RoundRobin, Metric: vector.L2, Index: IndexXTree}
+	e, err := NewEngine(ds0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := e.Append(ds0)
+	if err != nil {
+		t.Fatalf("no-op append rejected: %v", err)
+	}
+	engineEqual(t, same, e)
+	viaBatch, err := e.AppendBatch()
+	if err != nil {
+		t.Fatalf("empty batch append rejected: %v", err)
+	}
+	engineEqual(t, viaBatch, e)
+}
+
+// TestEngineAppendDimMismatchRows: rows of the wrong width surface as
+// errors from the batch entry point, before any shard is touched.
+func TestEngineAppendDimMismatchRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const d = 3
+	ds0, err := vector.FromRows(randRows(rng, 30, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ds0, Config{Shards: 2, Metric: vector.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AppendBatch([][]float64{{1, 2}}); err == nil {
+		t.Fatal("narrow row accepted")
+	}
+	if _, err := e.AppendBatch(randRows(rng, 2, d), [][]float64{{1, 2, 3, 4}}); err == nil {
+		t.Fatal("wide row in second batch accepted")
+	}
+	// The source engine still answers correctly after the rejections.
+	fresh, err := NewEngine(ds0, Config{Shards: 2, Metric: vector.L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineEqual(t, e, fresh)
+}
+
+// TestEngineAppendWidthOne: a width-1 engine (single shard holding
+// everything) takes the same incremental path and matches a fresh
+// single-shard engine — the degenerate partition is not special-cased
+// anywhere.
+func TestEngineAppendWidthOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const d = 4
+	ds0, err := vector.FromRows(randRows(rng, 120, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []IndexKind{IndexLinear, IndexXTree} {
+		cfg := Config{Shards: 1, Partitioner: HashPoint, Metric: vector.L2, Index: kind}
+		e, err := NewEngine(ds0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds1 := appendRows(t, ds0, randRows(rng, 15, d))
+		e1, err := e.Append(ds1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e1.ShardSizes(); len(got) != 1 || got[0] != 135 {
+			t.Fatalf("width-1 shard sizes after append: %v", got)
+		}
+		fresh, err := NewEngine(ds1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engineEqual(t, e1, fresh)
+	}
+}
+
 // TestEngineAppendRejectsBadDatasets pins the contract errors.
 func TestEngineAppendRejectsBadDatasets(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))

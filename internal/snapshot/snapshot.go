@@ -245,9 +245,13 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return decodePayload(payload)
 }
 
-// SaveFile writes the snapshot to path atomically (temp file + rename
-// in the destination directory), so a crash mid-write can never leave
-// a half-snapshot where a warm start would find it.
+// SaveFile writes the snapshot to path atomically and durably:
+// write(tmp) → fsync(tmp) → rename → fsync(directory). The rename
+// keeps a crash mid-write from leaving a half-snapshot where a warm
+// start would find it; the directory fsync makes the *name* durable —
+// without it, power loss after the rename can resurrect the old file
+// (or none), and a sibling WAL bound to the new file's CRC would be
+// rejected as stale on restart (see internal/wal's ordering contract).
 func SaveFile(path string, s *Snapshot) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snap-*")
@@ -259,10 +263,22 @@ func SaveFile(path string, s *Snapshot) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFile reads a snapshot file.

@@ -30,6 +30,17 @@ func FuzzWALReplay(f *testing.F) {
 	d = binary.LittleEndian.AppendUint64(d, 2)
 	withRecs = append(withRecs, encodeRecord(RecordDelete, d)...)
 	f.Add(append([]byte(nil), withRecs...))
+	// A group-commit batch frame: stamp + two sub-records under one CRC.
+	batch := make([]byte, 0, 64)
+	batch = binary.LittleEndian.AppendUint64(batch, 42) // stamp
+	batch = binary.LittleEndian.AppendUint32(batch, 2)  // sub count
+	batch = append(batch, byte(RecordAppend))
+	batch = binary.LittleEndian.AppendUint32(batch, uint32(len(p)))
+	batch = append(batch, p...)
+	batch = append(batch, byte(RecordDelete))
+	batch = binary.LittleEndian.AppendUint32(batch, uint32(len(d)))
+	batch = append(batch, d...)
+	f.Add(append(append([]byte(nil), clean...), encodeRecord(RecordBatch, batch)...))
 	// Declared-huge lengths that must not allocate.
 	huge := append([]byte(nil), clean...)
 	huge = append(huge, byte(RecordAppend), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0)
@@ -47,12 +58,17 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatal("torn log with no discarded bytes")
 		}
 		// Round-trip closure: re-encode what replayed; it must decode
-		// to the same records with nothing torn.
+		// to the same records with nothing torn. Replay flattens batch
+		// frames, so replayed records are only ever append/delete; a
+		// stamped record re-encodes as a single-sub batch frame (the
+		// stamp has nowhere else to live), an unstamped one as the
+		// legacy single record.
 		img := encodeHeader(rep.Header)
 		for _, rec := range rep.Records {
+			var p []byte
 			switch rec.Type {
 			case RecordAppend:
-				p := make([]byte, 0, 12+len(rec.Rows)*rep.Header.Dim*8)
+				p = make([]byte, 0, 12+len(rec.Rows)*rep.Header.Dim*8)
 				p = binary.LittleEndian.AppendUint32(p, uint32(len(rec.Rows)))
 				p = binary.LittleEndian.AppendUint64(p, uint64(rec.FirstID))
 				for _, row := range rec.Rows {
@@ -66,14 +82,26 @@ func FuzzWALReplay(f *testing.F) {
 						p = binary.LittleEndian.AppendUint64(p, math.Float64bits(v))
 					}
 				}
-				img = append(img, encodeRecord(RecordAppend, p)...)
 			case RecordDelete:
-				p := make([]byte, 0, 16)
+				p = make([]byte, 0, 16)
 				p = binary.LittleEndian.AppendUint64(p, uint64(rec.FromID))
 				p = binary.LittleEndian.AppendUint64(p, uint64(rec.ToID))
-				img = append(img, encodeRecord(RecordDelete, p)...)
 			default:
 				t.Fatalf("replayed unknown record type %d", rec.Type)
+			}
+			if rec.Stamp < 0 {
+				t.Fatalf("negative stamp survived replay: %d", rec.Stamp)
+			}
+			if rec.Stamp != 0 {
+				b := make([]byte, 0, 12+subFrame+len(p))
+				b = binary.LittleEndian.AppendUint64(b, uint64(rec.Stamp))
+				b = binary.LittleEndian.AppendUint32(b, 1)
+				b = append(b, byte(rec.Type))
+				b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+				b = append(b, p...)
+				img = append(img, encodeRecord(RecordBatch, b)...)
+			} else {
+				img = append(img, encodeRecord(rec.Type, p)...)
 			}
 		}
 		rep2, err := Replay(img)

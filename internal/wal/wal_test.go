@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 )
 
 func testHeader() Header {
@@ -22,7 +23,7 @@ func testHeader() Header {
 func mustCreate(t *testing.T, h Header) (*Log, string) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "ds.wal")
-	l, err := Create(path, h, false)
+	l, err := Create(path, h, SyncPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	l2, rep, err := Open(path, false)
+	l2, rep, err := Open(path, SyncPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestTornTailTruncated(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			l2, rep, err := Open(path, false)
+			l2, rep, err := Open(path, SyncPolicy{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -295,26 +296,37 @@ func TestRecordValidation(t *testing.T) {
 
 // TestCreateRejectsBadDim pins writer-side header validation.
 func TestCreateRejectsBadDim(t *testing.T) {
-	if _, err := Create(filepath.Join(t.TempDir(), "x.wal"), Header{Dim: 0}, false); err == nil {
+	if _, err := Create(filepath.Join(t.TempDir(), "x.wal"), Header{Dim: 0}, SyncPolicy{}); err == nil {
 		t.Fatal("zero-dim header accepted")
 	}
 }
 
-// TestSyncMode: a sync-mode log works end to end (the fsync itself is
-// not observable, but the code path is).
+// TestSyncMode: a SyncAlways log works end to end and counts one
+// fsync per appended record (the fsync itself is not observable, but
+// the code path and the ledger are).
 func TestSyncMode(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ds.wal")
-	l, err := Create(path, Header{Dim: 2, NextID: 0}, true)
+	l, err := Create(path, Header{Dim: 2, NextID: 0}, SyncPolicy{Mode: SyncAlways})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := l.AppendRows(0, [][]float64{{1, 2}}); err != nil {
 		t.Fatal(err)
 	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("syncs after one append = %d, want 1", got)
+	}
+	// Commit after a per-record sync is a no-op.
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("syncs after redundant commit = %d, want 1", got)
+	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	l2, rep, err := Open(path, true)
+	l2, rep, err := Open(path, SyncPolicy{Mode: SyncAlways})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,6 +336,226 @@ func TestSyncMode(t *testing.T) {
 	}
 	if err := l2.AppendDelete(0, 1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBatchRoundTrip: one AppendBatch frame carrying mixed sub-records
+// replays as flattened, stamped records, and costs one frame.
+func TestBatchRoundTrip(t *testing.T) {
+	h := testHeader()
+	l, path := mustCreate(t, h)
+	rows1 := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	rows2 := [][]float64{{-0.5, math.MaxFloat64, 1e-300}}
+	const stamp = int64(1_700_000_000_000_000_000)
+	batch := []Record{
+		{Type: RecordAppend, FirstID: 5, Rows: rows1},
+		{Type: RecordDelete, FromID: 1, ToID: 3},
+		{Type: RecordAppend, FirstID: 7, Rows: rows2},
+	}
+	if err := l.AppendBatch(stamp, batch); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 1 {
+		t.Fatalf("frames = %d, want 1 (one frame per batch)", l.Records())
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("syncs = %d, want 1 (one fsync per batch commit)", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep, err := Open(path, SyncPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rep.Torn {
+		t.Fatal("clean batch log reported torn")
+	}
+	if rep.Frames != 1 {
+		t.Fatalf("replayed frames = %d, want 1", rep.Frames)
+	}
+	want := []Record{
+		{Type: RecordAppend, FirstID: 5, Rows: rows1, Stamp: stamp},
+		{Type: RecordDelete, FromID: 1, ToID: 3, Stamp: stamp},
+		{Type: RecordAppend, FirstID: 7, Rows: rows2, Stamp: stamp},
+	}
+	if !reflect.DeepEqual(rep.Records, want) {
+		t.Fatalf("batch records mismatch:\n%+v\n%+v", rep.Records, want)
+	}
+	if l2.Records() != 1 {
+		t.Fatalf("reopened frames = %d, want 1", l2.Records())
+	}
+	// Mixing batch frames and legacy single records is fine.
+	if err := l2.AppendDelete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Records) != 4 || rep2.Records[3].Stamp != 0 {
+		t.Fatalf("mixed log replay wrong: %+v", rep2.Records)
+	}
+}
+
+// TestBatchValidation: a bad entry anywhere in the batch rejects the
+// whole call before any bytes are written.
+func TestBatchValidation(t *testing.T) {
+	l, _ := mustCreate(t, testHeader())
+	defer l.Close()
+	before := l.Size()
+	good := Record{Type: RecordAppend, FirstID: 5, Rows: [][]float64{{1, 2, 3}}}
+	cases := map[string]struct {
+		stamp int64
+		recs  []Record
+	}{
+		"empty":          {1, nil},
+		"negative_stamp": {-1, []Record{good}},
+		"nested_batch":   {1, []Record{good, {Type: RecordBatch}}},
+		"bad_width":      {1, []Record{good, {Type: RecordAppend, FirstID: 9, Rows: [][]float64{{1}}}}},
+		"nan_row":        {1, []Record{{Type: RecordAppend, FirstID: 9, Rows: [][]float64{{1, math.NaN(), 3}}}}},
+		"inverted_range": {1, []Record{{Type: RecordDelete, FromID: 3, ToID: 2}}},
+		"no_rows":        {1, []Record{{Type: RecordAppend, FirstID: 9}}},
+	}
+	for name, tc := range cases {
+		if err := l.AppendBatch(tc.stamp, tc.recs); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if l.Size() != before || l.Records() != 0 {
+		t.Fatalf("rejected batches left bytes behind: size=%d records=%d", l.Size(), l.Records())
+	}
+	// A corrupt sub-record poisons the whole frame on replay: craft a
+	// batch whose second sub declares a bogus type.
+	payload := make([]byte, 0, 64)
+	payload = binary.LittleEndian.AppendUint64(payload, 1) // stamp
+	payload = binary.LittleEndian.AppendUint32(payload, 2) // two subs
+	del := make([]byte, 0, 16)
+	del = binary.LittleEndian.AppendUint64(del, 0)
+	del = binary.LittleEndian.AppendUint64(del, 2)
+	payload = append(payload, byte(RecordDelete))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(del)))
+	payload = append(payload, del...)
+	payload = append(payload, 0x7f, 0, 0, 0, 0) // unknown sub type
+	img := append(encodeHeader(testHeader()), encodeRecord(RecordBatch, payload)...)
+	rep, err := Replay(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Torn || len(rep.Records) != 0 {
+		t.Fatalf("corrupt batch frame partially replayed: torn=%v records=%+v", rep.Torn, rep.Records)
+	}
+}
+
+// TestParseSyncPolicy pins the -wal-sync grammar.
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"":              {Mode: SyncBatch},
+		"batch":         {Mode: SyncBatch},
+		"false":         {Mode: SyncBatch},
+		"always":        {Mode: SyncAlways},
+		"true":          {Mode: SyncAlways},
+		"interval=50ms": {Mode: SyncInterval, Interval: 50 * time.Millisecond},
+		"interval=2s":   {Mode: SyncInterval, Interval: 2 * time.Second},
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("%q: got %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"nope", "interval=", "interval=abc", "interval=0", "interval=-1s"} {
+		if _, err := ParseSyncPolicy(in); err == nil {
+			t.Fatalf("%q: accepted", in)
+		}
+	}
+	// String round-trips through the parser.
+	for _, p := range []SyncPolicy{
+		{Mode: SyncBatch},
+		{Mode: SyncAlways},
+		{Mode: SyncInterval, Interval: 250 * time.Millisecond},
+	} {
+		back, err := ParseSyncPolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip %v: got %v err %v", p, back, err)
+		}
+	}
+}
+
+// TestSyncPolicyCommit pins when each policy actually touches the
+// disk.
+func TestSyncPolicyCommit(t *testing.T) {
+	// Batch: appends defer, Commit syncs once, idle Commit is free.
+	l, _ := mustCreate(t, testHeader())
+	defer l.Close()
+	if err := l.AppendRows(5, [][]float64{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDelete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 0 {
+		t.Fatalf("batch-mode appends synced eagerly: %d", got)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("commit syncs = %d, want 1", got)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("idle commit synced: %d", got)
+	}
+
+	// Interval: inside the window Commit defers; once the window
+	// elapses the next Commit syncs. A 1ns window makes "elapsed"
+	// deterministic without sleeping.
+	path := filepath.Join(t.TempDir(), "iv.wal")
+	li, err := Create(path, testHeader(), SyncPolicy{Mode: SyncInterval, Interval: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	if err := li.AppendDelete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := li.Syncs(); got != 1 {
+		t.Fatalf("interval commit past window syncs = %d, want 1", got)
+	}
+	lw, err := Create(filepath.Join(t.TempDir(), "iv2.wal"), testHeader(),
+		SyncPolicy{Mode: SyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.AppendDelete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lw.Syncs(); got != 0 {
+		t.Fatalf("interval commit inside window synced: %d", got)
+	}
+	// Close flushes the deferred write so nothing acknowledged is
+	// still only in the page cache when the handle goes away.
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lw.Syncs(); got != 1 {
+		t.Fatalf("close did not flush dirty interval log: %d syncs", got)
 	}
 }
 

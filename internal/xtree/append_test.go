@@ -94,6 +94,74 @@ func TestAppendEqualsBuild(t *testing.T) {
 	}
 }
 
+// TestAppendBatchEqualsChainedAppend: the group-commit entry point —
+// many queued row batches applied in one unpack/insert/repack cycle —
+// encodes byte-identically to both the chained per-batch appends and
+// a fresh build, on either side of the rebuild trigger.
+func TestAppendBatchEqualsChainedAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const d = 4
+	all := randomRows(rng, 500, d)
+	for _, tc := range []struct {
+		name    string
+		base    int
+		batches []int
+	}{
+		{"coalesced_singles", 300, []int{1, 1, 1, 1}},
+		{"mixed_sizes", 200, []int{3, 40, 7}},
+		{"rebuild_trigger", 100, []int{150, 250}}, // combined ≥2x: from-scratch path
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := datasetOf(t, all[:tc.base], d)
+			tr, err := Build(base, vector.L2, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var batches [][][]float64
+			n := tc.base
+			for _, b := range tc.batches {
+				batches = append(batches, all[n:n+b])
+				n += b
+			}
+			batched, err := tr.AppendBatch(batches...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batched.Size() != n {
+				t.Fatalf("batched size %d, want %d", batched.Size(), n)
+			}
+			chained := tr
+			m := tc.base
+			for _, b := range tc.batches {
+				m += b
+				chained, err = chained.Append(datasetOf(t, all[:m], d))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			fresh, err := Build(datasetOf(t, all[:n], d), vector.L2, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, cb, fb := encodeTree(t, batched), encodeTree(t, chained), encodeTree(t, fresh)
+			if !bytes.Equal(bb, cb) {
+				t.Fatal("batched append diverges from chained appends")
+			}
+			if !bytes.Equal(bb, fb) {
+				t.Fatal("batched append diverges from fresh build")
+			}
+		})
+	}
+	// Bad rows surface as errors, not a corrupted tree.
+	tr, err := Build(datasetOf(t, all[:50], d), vector.L2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AppendBatch([][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong-width batch row accepted")
+	}
+}
+
 // TestAppendLeavesOriginalIntact: Append is copy-on-write — the source
 // tree still validates and encodes identically afterwards.
 func TestAppendLeavesOriginalIntact(t *testing.T) {

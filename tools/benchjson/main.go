@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` text output into the
 // machine-readable BENCH_<n>.json trajectory record CI uploads as an
-// artifact — ns/op, B/op, allocs/op per benchmark, plus derived
-// shard-scaling ratios from BenchmarkShardedQuery.
+// artifact — ns/op, B/op, allocs/op and any custom b.ReportMetric
+// units per benchmark, plus derived shard-scaling ratios from
+// BenchmarkShardedQuery and append-throughput amortization from
+// BenchmarkAppendThroughput.
 //
 // Usage:
 //
@@ -44,6 +46,9 @@ type Benchmark struct {
 	// BytesPerOp/AllocsPerOp are -1 when the run lacked -benchmem.
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Metrics carries custom b.ReportMetric units ("rows/s",
+	// "fsyncs/row", …) keyed by unit; nil when the line had none.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the BENCH_<n>.json schema.
@@ -61,6 +66,12 @@ type Report struct {
 	// (> 1 means n shards beat one). Empty when the input lacks the
 	// benchmark.
 	ShardSpeedup map[string]float64 `json:"shard_speedup,omitempty"`
+	// AppendRowsPerSec maps "batch=<n>" to the rows/s metric from
+	// BenchmarkAppendThroughput — the append lane's amortization
+	// record. AppendFsyncsPerRow is its fsyncs/row twin. Empty when
+	// the input lacks the benchmark.
+	AppendRowsPerSec   map[string]float64 `json:"append_rows_per_sec,omitempty"`
+	AppendFsyncsPerRow map[string]float64 `json:"append_fsyncs_per_row,omitempty"`
 }
 
 func main() {
@@ -80,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		gatePath  = fs.String("gate", "", "previous BENCH_<n>.json to gate the fresh run against; a regression fails the command")
 		tolerance = fs.Float64("tolerance", 0.10, "with -gate: allowed fractional regression in ns/op and allocs/op")
 		minShard  = fs.Float64("min-shard-speedup", 0, "with -gate: required 4x shard speedup on multi-CPU runs (0 disables)")
+		minAmort  = fs.Float64("min-append-amortization", 0, "with -gate: required batch=256 over batch=1 append row-throughput ratio, plus < 1 fsync/row at batch=256 (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,13 +113,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if len(benches) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
+	rows, fsyncs := AppendThroughput(benches)
 	rep := &Report{
-		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:    runtime.Version(),
-		CPUs:         runtime.NumCPU(),
-		CISingleCPU:  runtime.NumCPU() == 1,
-		Benchmarks:   benches,
-		ShardSpeedup: ShardSpeedups(benches),
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		CPUs:               runtime.NumCPU(),
+		CISingleCPU:        runtime.NumCPU() == 1,
+		Benchmarks:         benches,
+		ShardSpeedup:       ShardSpeedups(benches),
+		AppendRowsPerSec:   rows,
+		AppendFsyncsPerRow: fsyncs,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -134,7 +149,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err := json.Unmarshal(prevBuf, &prev); err != nil {
 			return fmt.Errorf("%s: %w", *gatePath, err)
 		}
-		violations := Gate(&prev, rep, *tolerance, *minShard, stdout)
+		violations := Gate(&prev, rep, *tolerance, *minShard, *minAmort, stdout)
 		if len(violations) > 0 {
 			return fmt.Errorf("bench gate failed: %d regression(s) vs %s", len(violations), *gatePath)
 		}
@@ -169,7 +184,11 @@ func baseName(name string) string {
 //   - the shard-speedup floor applies only on multi-CPU runs — on a
 //     single core scatter-gather is pure overhead by construction,
 //     which is exactly what ci_single_cpu records.
-func Gate(prev, cur *Report, tolerance, minShardSpeedup float64, out io.Writer) []string {
+//   - the append-amortization floor is a within-run ratio (batch=256
+//     rows/s over batch=1 rows/s) plus an absolute fsyncs/row ceiling,
+//     both hardware-independent, so it applies whenever the input
+//     carries BenchmarkAppendThroughput.
+func Gate(prev, cur *Report, tolerance, minShardSpeedup, minAppendAmortization float64, out io.Writer) []string {
 	var violations []string
 	fail := func(format string, a ...any) {
 		v := fmt.Sprintf(format, a...)
@@ -217,6 +236,24 @@ func Gate(prev, cur *Report, tolerance, minShardSpeedup float64, out io.Writer) 
 			fmt.Fprintf(out, "ok   shard speedup 4x = %.2f (floor %.2f)\n", cur.ShardSpeedup["4x"], minShardSpeedup)
 		}
 	}
+	if minAppendAmortization > 0 {
+		base, big := cur.AppendRowsPerSec["batch=1"], cur.AppendRowsPerSec["batch=256"]
+		switch {
+		case base == 0 || big == 0:
+			fmt.Fprintln(out, "skip append-amortization floor: no BenchmarkAppendThroughput batch=1/batch=256 in input")
+		case big < base*minAppendAmortization:
+			fail("append amortization batch=256/batch=1 = %.2fx, floor is %.2fx", big/base, minAppendAmortization)
+		default:
+			fmt.Fprintf(out, "ok   append amortization batch=256/batch=1 = %.2fx (floor %.2fx)\n", big/base, minAppendAmortization)
+		}
+		if f, ok := cur.AppendFsyncsPerRow["batch=256"]; ok {
+			if f >= 1 {
+				fail("append batch=256 issued %.3f fsyncs/row; group commit requires < 1", f)
+			} else {
+				fmt.Fprintf(out, "ok   append batch=256 fsyncs/row = %.4f (< 1)\n", f)
+			}
+		}
+	}
 	return violations
 }
 
@@ -251,6 +288,14 @@ func Parse(r io.Reader) ([]Benchmark, error) {
 				b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				// Custom b.ReportMetric units ("rows/s", "fsyncs/row", …).
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if b.Metrics == nil {
+						b.Metrics = map[string]float64{}
+					}
+					b.Metrics[fields[i+1]] = v
+				}
 			}
 		}
 		if ok {
@@ -258,6 +303,39 @@ func Parse(r io.Reader) ([]Benchmark, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+// AppendThroughput collects the rows/s and fsyncs/row metrics from
+// BenchmarkAppendThroughput sub-benchmarks, keyed by their
+// "batch=<n>" component (GOMAXPROCS suffix ignored). Either map is
+// nil when the input lacks the metric.
+func AppendThroughput(benches []Benchmark) (rows, fsyncs map[string]float64) {
+	for _, b := range benches {
+		if !strings.Contains(b.Name, "BenchmarkAppendThroughput/") {
+			continue
+		}
+		i := strings.Index(b.Name, "batch=")
+		if i < 0 {
+			continue
+		}
+		key := b.Name[i:]
+		if j := strings.IndexAny(key[len("batch="):], "-/"); j >= 0 {
+			key = key[:len("batch=")+j]
+		}
+		if v, ok := b.Metrics["rows/s"]; ok {
+			if rows == nil {
+				rows = map[string]float64{}
+			}
+			rows[key] = v
+		}
+		if v, ok := b.Metrics["fsyncs/row"]; ok {
+			if fsyncs == nil {
+				fsyncs = map[string]float64{}
+			}
+			fsyncs[key] = v
+		}
+	}
+	return rows, fsyncs
 }
 
 // ShardSpeedups derives ns/op(shards=1)/ns/op(shards=n) ratios from

@@ -18,6 +18,8 @@ BenchmarkShardedQuery/shards=1-8         3721     97094 ns/op     552 B/op     1
 BenchmarkShardedQuery/shards=2-8         3734     48720 ns/op     856 B/op     17 allocs/op
 BenchmarkShardedQuery/shards=4-8         3536     30422 ns/op    1432 B/op     29 allocs/op
 BenchmarkQueryWith-8                     1000   1200000 ns/op
+BenchmarkAppendThroughput/batch=1-8        30  10681734 ns/op     1.000 fsyncs/row        93.62 rows/s
+BenchmarkAppendThroughput/batch=256-8      15  31351196 ns/op     0.003906 fsyncs/row   8166 rows/s
 PASS
 ok      repro/internal/shard    1.799s
 `
@@ -27,8 +29,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(benches) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	if len(benches) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(benches))
 	}
 	b := benches[0]
 	if b.Name != "BenchmarkShardedQuery/shards=1-8" || b.Iterations != 3721 ||
@@ -87,11 +89,17 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 4 || rep.GoVersion == "" || rep.CPUs < 1 || rep.GeneratedAt == "" {
+	if len(rep.Benchmarks) != 6 || rep.GoVersion == "" || rep.CPUs < 1 || rep.GeneratedAt == "" {
 		t.Fatalf("report = %+v", rep)
 	}
 	if len(rep.ShardSpeedup) != 2 {
 		t.Fatalf("shard speedups = %v", rep.ShardSpeedup)
+	}
+	if rep.AppendRowsPerSec["batch=1"] != 93.62 || rep.AppendRowsPerSec["batch=256"] != 8166 {
+		t.Fatalf("append rows/s = %v", rep.AppendRowsPerSec)
+	}
+	if rep.AppendFsyncsPerRow["batch=256"] != 0.003906 {
+		t.Fatalf("append fsyncs/row = %v", rep.AppendFsyncsPerRow)
 	}
 
 	// Stdout mode.
@@ -137,7 +145,7 @@ func TestGateAllocsAlwaysEnforced(t *testing.T) {
 	// Different CPU count: ns/op must be skipped, allocs still gated.
 	cur := gateReport(8, Benchmark{Name: "BenchmarkQueryWith/shards=0-8", NsPerOp: 500, AllocsPerOp: 2})
 	var out bytes.Buffer
-	v := Gate(prev, cur, 0.10, 0, &out)
+	v := Gate(prev, cur, 0.10, 0, 0, &out)
 	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
 		t.Fatalf("violations = %v\n%s", v, out.String())
 	}
@@ -146,7 +154,7 @@ func TestGateAllocsAlwaysEnforced(t *testing.T) {
 	}
 	// Zero-baseline allocs admit zero, so an equal run passes.
 	cur.Benchmarks[0].AllocsPerOp = 0
-	if v := Gate(prev, cur, 0.10, 0, &out); len(v) != 0 {
+	if v := Gate(prev, cur, 0.10, 0, 0, &out); len(v) != 0 {
 		t.Fatalf("clean run flagged: %v", v)
 	}
 }
@@ -155,13 +163,13 @@ func TestGateNsOnlyOnMatchingCPUs(t *testing.T) {
 	prev := gateReport(4, Benchmark{Name: "BenchmarkQueryBatchCore", NsPerOp: 1000, AllocsPerOp: 3})
 	cur := gateReport(4, Benchmark{Name: "BenchmarkQueryBatchCore-4", NsPerOp: 1200, AllocsPerOp: 3})
 	var out bytes.Buffer
-	v := Gate(prev, cur, 0.10, 0, &out)
+	v := Gate(prev, cur, 0.10, 0, 0, &out)
 	if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
 		t.Fatalf("violations = %v", v)
 	}
 	// Within tolerance passes.
 	cur.Benchmarks[0].NsPerOp = 1050
-	if v := Gate(prev, cur, 0.10, 0, &out); len(v) != 0 {
+	if v := Gate(prev, cur, 0.10, 0, 0, &out); len(v) != 0 {
 		t.Fatalf("within-tolerance run flagged: %v", v)
 	}
 }
@@ -175,7 +183,7 @@ func TestGateShardSpeedupSkippedOnSingleCPU(t *testing.T) {
 	cur := gateReport(1, sharded...)
 	var out bytes.Buffer
 	// Speedup 1.11 < floor 1.5, but cpus==1 skips the assertion.
-	if v := Gate(prev, cur, 0.10, 1.5, &out); len(v) != 0 {
+	if v := Gate(prev, cur, 0.10, 1.5, 0, &out); len(v) != 0 {
 		t.Fatalf("single-CPU run hit the shard floor: %v\n%s", v, out.String())
 	}
 	if !strings.Contains(out.String(), "skip shard-speedup floor: single-CPU") {
@@ -183,12 +191,12 @@ func TestGateShardSpeedupSkippedOnSingleCPU(t *testing.T) {
 	}
 	// The same numbers on a multi-CPU run fail it.
 	cur4 := gateReport(4, sharded...)
-	if v := Gate(prev, cur4, 0.10, 1.5, &out); len(v) != 1 || !strings.Contains(v[0], "shard speedup") {
+	if v := Gate(prev, cur4, 0.10, 1.5, 0, &out); len(v) != 1 || !strings.Contains(v[0], "shard speedup") {
 		t.Fatalf("violations = %v", v)
 	}
 	// And a healthy multi-CPU speedup passes.
 	cur4.ShardSpeedup = map[string]float64{"4x": 2.8}
-	if v := Gate(prev, cur4, 0.10, 1.5, &out); len(v) != 0 {
+	if v := Gate(prev, cur4, 0.10, 1.5, 0, &out); len(v) != 0 {
 		t.Fatalf("healthy speedup flagged: %v", v)
 	}
 }
@@ -197,10 +205,76 @@ func TestGateNewBenchmarkHasNoBaseline(t *testing.T) {
 	prev := gateReport(1)
 	cur := gateReport(1, Benchmark{Name: "BenchmarkBrandNew", NsPerOp: 10, AllocsPerOp: 99})
 	var out bytes.Buffer
-	if v := Gate(prev, cur, 0.10, 0, &out); len(v) != 0 {
+	if v := Gate(prev, cur, 0.10, 0, 0, &out); len(v) != 0 {
 		t.Fatalf("baseline-less benchmark gated: %v", v)
 	}
 	if !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("missing skip notice:\n%s", out.String())
+	}
+}
+
+func TestParseCustomMetrics(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := benches[4]
+	if b.Metrics["rows/s"] != 93.62 || b.Metrics["fsyncs/row"] != 1.0 {
+		t.Fatalf("custom metrics = %v", b.Metrics)
+	}
+	// Lines without ReportMetric units carry no metrics map.
+	if benches[0].Metrics != nil {
+		t.Fatalf("unexpected metrics on %s: %v", benches[0].Name, benches[0].Metrics)
+	}
+}
+
+func TestAppendThroughput(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, fsyncs := AppendThroughput(benches)
+	if rows["batch=1"] != 93.62 || rows["batch=256"] != 8166 {
+		t.Fatalf("rows/s = %v", rows)
+	}
+	if fsyncs["batch=1"] != 1.0 || fsyncs["batch=256"] != 0.003906 {
+		t.Fatalf("fsyncs/row = %v", fsyncs)
+	}
+	// Without the benchmark there is nothing to derive.
+	if r, f := AppendThroughput(benches[:4]); r != nil || f != nil {
+		t.Fatalf("derived from no append benches: %v, %v", r, f)
+	}
+}
+
+func TestGateAppendAmortization(t *testing.T) {
+	prev := gateReport(4)
+	healthy := gateReport(4)
+	healthy.AppendRowsPerSec = map[string]float64{"batch=1": 100, "batch=256": 900}
+	healthy.AppendFsyncsPerRow = map[string]float64{"batch=256": 0.004}
+	var out bytes.Buffer
+	if v := Gate(prev, healthy, 0.10, 0, 5, &out); len(v) != 0 {
+		t.Fatalf("healthy amortization flagged: %v\n%s", v, out.String())
+	}
+	// Below the floor fails.
+	flat := gateReport(4)
+	flat.AppendRowsPerSec = map[string]float64{"batch=1": 100, "batch=256": 300}
+	flat.AppendFsyncsPerRow = map[string]float64{"batch=256": 0.004}
+	if v := Gate(prev, flat, 0.10, 0, 5, &out); len(v) != 1 || !strings.Contains(v[0], "append amortization") {
+		t.Fatalf("violations = %v", v)
+	}
+	// One fsync per row at batch=256 means group commit is broken.
+	syncy := gateReport(4)
+	syncy.AppendRowsPerSec = map[string]float64{"batch=1": 100, "batch=256": 900}
+	syncy.AppendFsyncsPerRow = map[string]float64{"batch=256": 1.0}
+	if v := Gate(prev, syncy, 0.10, 0, 5, &out); len(v) != 1 || !strings.Contains(v[0], "fsyncs/row") {
+		t.Fatalf("violations = %v", v)
+	}
+	// No append benchmark in the input: skipped, not failed.
+	out.Reset()
+	if v := Gate(prev, gateReport(4), 0.10, 0, 5, &out); len(v) != 0 {
+		t.Fatalf("missing benchmark failed the gate: %v", v)
+	}
+	if !strings.Contains(out.String(), "skip append-amortization floor") {
 		t.Fatalf("missing skip notice:\n%s", out.String())
 	}
 }
