@@ -1,0 +1,139 @@
+// Package antest is the fixture harness for hosvet analyzers, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest. A fixture is
+// a small standalone module under the analyzer's testdata/ directory;
+// lines that must be flagged carry a trailing
+//
+//	// want `regexp`
+//
+// comment. Run loads the module, applies the analyzer, and fails the
+// test for every unexpected diagnostic and every unmatched want.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// reporter is the slice of testing.T the harness needs; tests of the
+// harness itself substitute a recorder.
+type reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Run loads the fixture module rooted at dir and checks the
+// analyzer's diagnostics against the module's // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	run(t, dir, a)
+}
+
+func run(t reporter, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+		return
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+		return
+	}
+	for _, p := range pkgs {
+		diags := analysis.Run([]*analysis.Analyzer{a}, p.Fset, p.Files, p.Pkg, p.Info)
+		wants, werr := collectWants(p)
+		if werr != nil {
+			t.Fatalf("%v", werr)
+			return
+		}
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's
+// line whose pattern matches its message.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(p *load.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWant(c)
+				if err != nil {
+					pos := p.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, re := range ws {
+					pos := p.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func parseWant(c *ast.Comment) ([]*regexp.Regexp, error) {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	for _, q := range wantArgRE.FindAllString(m[1], -1) {
+		var pat string
+		if strings.HasPrefix(q, "`") {
+			pat = strings.Trim(q, "`")
+		} else {
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", q, err)
+			}
+			pat = u
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %s: %v", q, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// recorder captures harness verdicts instead of failing the test.
+type recorder struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+
+// flagBad reports every function whose name starts with "bad".
+var flagBad = &analysis.Analyzer{
+	Name: "flagbad",
+	Doc:  "test analyzer: flags functions named bad*",
+	Run: func(pass *analysis.Pass) {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					pass.Reportf(fd.Name.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+	},
+}
+
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fix\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestMatchedWants(t *testing.T) {
+	dir := writeFixture(t, "package fix\n\nfunc badOne() {} // want `function badOne is bad`\n\nfunc fine() {}\n")
+	rec := &recorder{}
+	run(rec, dir, flagBad)
+	if len(rec.errors) != 0 || len(rec.fatals) != 0 {
+		t.Fatalf("clean fixture reported: errors=%v fatals=%v", rec.errors, rec.fatals)
+	}
+}
+
+func TestQuotedWantSyntax(t *testing.T) {
+	dir := writeFixture(t, "package fix\n\nfunc badQ() {} // want \"badQ is bad\"\n")
+	rec := &recorder{}
+	run(rec, dir, flagBad)
+	if len(rec.errors) != 0 || len(rec.fatals) != 0 {
+		t.Fatalf("quoted want not honored: errors=%v fatals=%v", rec.errors, rec.fatals)
+	}
+}
+
+func TestUnexpectedDiagnostic(t *testing.T) {
+	dir := writeFixture(t, "package fix\n\nfunc badSurprise() {}\n")
+	rec := &recorder{}
+	run(rec, dir, flagBad)
+	if len(rec.errors) != 1 || !strings.Contains(rec.errors[0], "unexpected diagnostic") {
+		t.Fatalf("missing unexpected-diagnostic report, got %v", rec.errors)
+	}
+}
+
+func TestUnmatchedWant(t *testing.T) {
+	dir := writeFixture(t, "package fix\n\nfunc fine() {} // want `this never fires`\n")
+	rec := &recorder{}
+	run(rec, dir, flagBad)
+	if len(rec.errors) != 1 || !strings.Contains(rec.errors[0], "no diagnostic matched") {
+		t.Fatalf("missing unmatched-want report, got %v", rec.errors)
+	}
+}
+
+func TestWrongPatternBothWays(t *testing.T) {
+	dir := writeFixture(t, "package fix\n\nfunc badTwo() {} // want `completely different`\n")
+	rec := &recorder{}
+	run(rec, dir, flagBad)
+	if len(rec.errors) != 2 {
+		t.Fatalf("want both an unexpected diagnostic and an unmatched want, got %v", rec.errors)
+	}
+}
+
+func TestBadWantRegexp(t *testing.T) {
+	dir := writeFixture(t, "package fix\n\nfunc fine() {} // want `([`\n")
+	rec := &recorder{}
+	run(rec, dir, flagBad)
+	if len(rec.fatals) != 1 || !strings.Contains(rec.fatals[0], "bad want regexp") {
+		t.Fatalf("bad regexp not fatal, got %v", rec.fatals)
+	}
+}
+
+func TestLoadFailureIsFatal(t *testing.T) {
+	rec := &recorder{}
+	run(rec, t.TempDir(), flagBad)
+	if len(rec.fatals) != 1 {
+		t.Fatalf("empty dir should fail to load, got fatals=%v", rec.fatals)
+	}
+}

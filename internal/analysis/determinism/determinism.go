@@ -1,0 +1,221 @@
+// Package determinism keeps the algorithmic core reproducible. The
+// conformance harness pins linear ≡ xtree, append ≡ rebuild, and
+// cluster ≡ single-node — equivalences that only hold if the engine
+// packages are pure functions of their inputs. Within the scoped
+// packages (core, xtree, od, subspace, knn, vector, lattice) the
+// analyzer flags wall-clock reads (time.Now/Since/Until), non-seeded
+// math/rand package-level functions (seeded rand.New(rand.NewSource)
+// instances are fine), and map iterations that append to an outer
+// slice without a subsequent sort — the classic
+// iteration-order-dependent result.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const doc = "determinism: engine packages must be pure functions of their inputs"
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  doc,
+	Run:  run,
+}
+
+// scopeSuffixes are the import-path tails of the deterministic
+// engine packages.
+var scopeSuffixes = []string{
+	"internal/core",
+	"internal/xtree",
+	"internal/od",
+	"internal/subspace",
+	"internal/knn",
+	"internal/vector",
+	"internal/lattice",
+}
+
+// wallClock lists the time functions that read the wall clock.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededOnly lists the math/rand names that construct seeded sources
+// rather than draw from the global one.
+var seededOnly = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func inScope(path string) bool {
+	for _, s := range scopeSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) {
+	if !inScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, sc := range analysis.Scopes(file) {
+			analysis.InspectShallow(sc.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pass, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, sc, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := analysis.PkgFunc(pass.Info, call)
+	switch pkg {
+	case "time":
+		if wallClock[name] {
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in a deterministic engine package; thread timestamps in from the caller", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededOnly[name] {
+			pass.Reportf(call.Pos(),
+				"non-seeded randomness rand.%s in a deterministic engine package; use a seeded rand.New(rand.NewSource(...))", name)
+		}
+	}
+}
+
+// checkMapRange flags `for k := range m { out = append(out, ...) }`
+// where out is declared outside the loop and never handed to
+// sort/slices afterwards: the result order then depends on map
+// iteration order.
+func checkMapRange(pass *analysis.Pass, sc analysis.FuncScope, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := types.Unalias(t).Underlying().(*types.Map); !ok {
+		return
+	}
+	for _, target := range appendTargets(pass, rs) {
+		if sortedAfter(pass, sc, rs, target) {
+			continue
+		}
+		pass.Reportf(rs.For,
+			"iterating a map to build slice %q makes the result order depend on map iteration order; sort it afterwards or iterate a sorted key list", target.Name())
+	}
+}
+
+// appendTargets returns the outer-declared slice variables the range
+// body appends to.
+func appendTargets(pass *analysis.Pass, rs *ast.RangeStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			lid, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := varOf(pass, lid)
+			if v == nil || seen[v] || v.Pos() >= rs.Pos() {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+func varOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// sortedAfter reports whether, later in the same scope, v is passed
+// to a sort or slices function — the caller restores a canonical
+// order before the map order can leak out.
+func sortedAfter(pass *analysis.Pass, sc analysis.FuncScope, rs *ast.RangeStmt, v *types.Var) bool {
+	sorted := false
+	ast.Inspect(sc.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortingCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, v) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortingCall matches the standard sort/slices packages and
+// Sort-named helpers anywhere (the repo's canonical-order helpers,
+// e.g. subspace.SortMasks, follow that naming).
+func isSortingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pkg, _ := analysis.PkgFunc(pass.Info, call); pkg == "sort" || pkg == "slices" {
+		return true
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "sort")
+}
+
+func refersTo(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && varOf(pass, id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

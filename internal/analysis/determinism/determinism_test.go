@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	antest.Run(t, "testdata/src/core", determinism.Analyzer)
+}
+
+func TestOutOfScopePackagesIgnored(t *testing.T) {
+	antest.Run(t, "testdata/src/other", determinism.Analyzer)
+}

@@ -1,0 +1,91 @@
+// Package core mimics an engine package: its module path ends in
+// internal/core, putting it in the determinism analyzer's scope.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `non-seeded randomness rand\.Float64`
+}
+
+func shuffled(n int) []int {
+	p := rand.Perm(n) // want `non-seeded randomness rand\.Perm`
+	return p
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+// Durations as values are fine; only reading the clock is flagged.
+func budget() time.Duration {
+	return 50 * time.Millisecond
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `depend on map iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Canonical-order helpers named Sort* count as sorting even though
+// they do not live in the sort package.
+func sortIDs(out []int) { sort.Ints(out) }
+
+func canonicalValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sortIDs(out)
+	return out
+}
+
+// Order-independent reductions over maps are fine.
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// A slice born inside the loop body is per-iteration state, not a
+// leaked ordering.
+func perIteration(m map[string][]int, want int) int {
+	hits := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			if v == want {
+				local = append(local, v)
+			}
+		}
+		hits += len(local)
+	}
+	return hits
+}

@@ -1,0 +1,3 @@
+module example/internal/core
+
+go 1.23

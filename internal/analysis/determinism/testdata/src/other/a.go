@@ -1,0 +1,12 @@
+// Package httpapi is outside the determinism scope: serving code may
+// read the clock and use the global rand freely.
+package httpapi
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Millisecond))) + time.Since(time.Now())
+}

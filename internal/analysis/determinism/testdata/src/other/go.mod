@@ -1,0 +1,3 @@
+module example/internal/httpapi
+
+go 1.23

@@ -1,0 +1,203 @@
+// Package durability enforces durable-before-visible ordering on the
+// epoch publish path. A mutation that journals to the WAL must
+// Commit() the log before the new epoch is Store()d into the
+// atomic.Pointer[view]; publishing first means a crash between the
+// two loses acknowledged writes. The check is scope-local and ordered:
+// for every publish preceded by a journal call in the same function,
+// a Commit — direct, or via a same-package helper that transitively
+// commits — must appear between the last journal call and the
+// publish. Publishes with no preceding journal (replay, bootstrap)
+// are exempt.
+package durability
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const doc = "durability: WAL Commit must precede the epoch publish it makes visible"
+
+// Analyzer is the durability pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "durability",
+	Doc:  doc,
+	Run:  run,
+}
+
+const (
+	evJournal = iota
+	evCommit
+	evPublish
+)
+
+type event struct {
+	kind int
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) {
+	commits := commitHelpers(pass)
+	for _, file := range pass.Files {
+		for _, sc := range analysis.Scopes(file) {
+			var evs []event
+			analysis.InspectShallow(sc.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isJournal(pass, call):
+					evs = append(evs, event{evJournal, call.Pos()})
+				case isCommit(pass, call, commits):
+					evs = append(evs, event{evCommit, call.Pos()})
+				case isPublish(pass, call):
+					evs = append(evs, event{evPublish, call.Pos()})
+				}
+				return true
+			})
+			sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+			lastJournal, lastCommit := token.NoPos, token.NoPos
+			for _, ev := range evs {
+				switch ev.kind {
+				case evJournal:
+					lastJournal = ev.pos
+				case evCommit:
+					lastCommit = ev.pos
+				case evPublish:
+					if lastJournal.IsValid() && (!lastCommit.IsValid() || lastCommit < lastJournal) {
+						pass.Reportf(ev.pos,
+							"epoch published before WAL Commit in %s: the journaled mutation is not durable when it becomes visible",
+							sc.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// isJournal matches WAL write calls: methods on the wal Log whose
+// names start with Append or Record (Append, AppendBatch,
+// AppendDelete, RecordBatch, ...). A journal write always carries a
+// payload, so zero-argument calls are excluded — that keeps stats
+// getters like Records() from counting as writes.
+func isJournal(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	name, onLog := logMethod(pass, call)
+	return onLog && (strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "Record"))
+}
+
+// isCommit matches Commit() on the Log, or a call to a same-package
+// function that transitively commits.
+func isCommit(pass *analysis.Pass, call *ast.CallExpr, commits map[string]bool) bool {
+	if name, onLog := logMethod(pass, call); onLog && name == "Commit" {
+		return true
+	}
+	if f := analysis.CalleeInPkg(pass.Info, pass.Pkg, call); f != nil {
+		return commits[f.FullName()]
+	}
+	return false
+}
+
+// isPublish matches Store/Swap/CompareAndSwap on an
+// atomic.Pointer[view].
+func isPublish(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+		return analysis.IsAtomicPointerTo(pass.Info.TypeOf(sel.X), "view")
+	}
+	return false
+}
+
+// logMethod returns (method name, true) when call is a method call on
+// a value of a named type called Log (the WAL log handle).
+func logMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	named := analysis.NamedType(pass.Info.TypeOf(sel.X))
+	if named == nil || named.Obj().Name() != "Log" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// commitHelpers computes the set of same-package functions that
+// (transitively, up to depth 4) call Commit on a Log. The mutation
+// paths wrap the fsync policy in helpers; calling one of those before
+// the publish satisfies the ordering just as a direct Commit does.
+func commitHelpers(pass *analysis.Pass) map[string]bool {
+	type node struct {
+		direct bool
+		calls  []string
+	}
+	nodes := make(map[string]*node)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &node{}
+			ast.Inspect(fd.Body, func(nd ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, onLog := logMethod(pass, call); onLog && name == "Commit" {
+					n.direct = true
+				}
+				if f := analysis.CalleeInPkg(pass.Info, pass.Pkg, call); f != nil {
+					n.calls = append(n.calls, f.FullName())
+				}
+				return true
+			})
+			nodes[obj.FullName()] = n
+		}
+	}
+	memo := make(map[string]bool)
+	var commits func(name string, depth int) bool
+	commits = func(name string, depth int) bool {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		n := nodes[name]
+		if n == nil || depth > 4 {
+			return false
+		}
+		memo[name] = false // cycle guard
+		if n.direct {
+			memo[name] = true
+			return true
+		}
+		for _, c := range n.calls {
+			if commits(c, depth+1) {
+				memo[name] = true
+				return true
+			}
+		}
+		return false
+	}
+	out := make(map[string]bool)
+	for name := range nodes {
+		if commits(name, 0) {
+			out[name] = true
+		}
+	}
+	return out
+}

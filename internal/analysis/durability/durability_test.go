@@ -1,0 +1,12 @@
+package durability_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/durability"
+)
+
+func TestDurability(t *testing.T) {
+	antest.Run(t, "testdata/src/a", durability.Analyzer)
+}

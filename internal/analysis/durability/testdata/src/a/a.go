@@ -1,0 +1,77 @@
+package a
+
+import "sync/atomic"
+
+type view struct{ gen int }
+
+// Log stands in for the WAL handle.
+type Log struct{ n int }
+
+func (l *Log) Append(b []byte) error          { l.n++; return nil }
+func (l *Log) AppendDelete(a, b uint64) error { l.n++; return nil }
+func (l *Log) RecordBatch(k int) error        { l.n++; return nil }
+func (l *Log) Commit() error                  { return nil }
+func (l *Log) Records() int                   { return l.n }
+
+type dataset struct {
+	cur atomic.Pointer[view]
+	wal *Log
+}
+
+func publishBeforeCommit(d *dataset, nv *view) {
+	d.wal.Append(nil)
+	d.cur.Store(nv) // want `published before WAL Commit`
+}
+
+func commitThenPublish(d *dataset, nv *view) {
+	d.wal.Append(nil)
+	d.wal.Commit()
+	d.cur.Store(nv)
+}
+
+// A Commit issued before the journal write does not make the later
+// journal entries durable.
+func staleCommit(d *dataset, nv *view) {
+	d.wal.Commit()
+	d.wal.RecordBatch(1)
+	d.cur.Store(nv) // want `published before WAL Commit`
+}
+
+// Commit reached through a same-package helper chain is fine: the
+// fsync-policy wrappers are exactly this shape.
+func flush(d *dataset)   { syncNow(d) }
+func syncNow(d *dataset) { d.wal.Commit() }
+
+func helperCommit(d *dataset, nv *view) {
+	d.wal.RecordBatch(3)
+	flush(d)
+	d.cur.Store(nv)
+}
+
+// Publishing with no journal activity in scope is the replay /
+// bootstrap path and is allowed.
+func replay(d *dataset, nv *view) {
+	d.cur.Store(nv)
+}
+
+// Zero-argument Record*/Append* calls are stats getters, not journal
+// writes; reading them between Commit and publish is fine.
+func statsBetween(d *dataset, nv *view) int {
+	d.wal.Append(nil)
+	d.wal.Commit()
+	n := d.wal.Records()
+	d.cur.Store(nv)
+	return n
+}
+
+// Swap and CompareAndSwap are publishes too.
+func swapBeforeCommit(d *dataset, nv *view) {
+	d.wal.AppendDelete(1, 2)
+	d.cur.Swap(nv) // want `published before WAL Commit`
+}
+
+func casAfterCommit(d *dataset, old, nv *view) {
+	d.wal.AppendDelete(1, 2)
+	d.wal.Commit()
+	d.cur.CompareAndSwap(old, nv)
+}

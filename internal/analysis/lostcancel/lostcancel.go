@@ -1,0 +1,115 @@
+// Package lostcancel is a repo-local port of the x/tools lostcancel
+// idea (the upstream pass cannot be vendored into this
+// zero-dependency module): the cancel function returned by
+// context.WithCancel / WithTimeout / WithDeadline must be used.
+// Discarding it with _ , or binding it and only ever blank-assigning
+// it, leaks the context's timer and child-goroutine bookkeeping.
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const doc = "lostcancel: the cancel function of a derived context must be used"
+
+// Analyzer is the lostcancel pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  doc,
+	Run:  run,
+}
+
+var cancelable = map[string]bool{
+	"WithCancel":        true,
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithCancelCause":   true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := analysis.PkgFunc(pass.Info, call)
+			if pkg != "context" || !cancelable[name] {
+				return true
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(as.Pos(),
+					"the cancel function returned by context.%s is discarded; the derived context leaks", name)
+				return true
+			}
+			obj := objectOf(pass, id)
+			if obj == nil {
+				return true
+			}
+			if !usedBeyondBlank(pass, file, id, obj) {
+				pass.Reportf(as.Pos(),
+					"the cancel function returned by context.%s is never used; call or defer it on every path", name)
+			}
+			return true
+		})
+	}
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+// usedBeyondBlank reports whether obj has any use other than its
+// defining identifier and RHS appearances in all-blank assignments
+// (`_ = cancel` silences the compiler without fixing the leak).
+func usedBeyondBlank(pass *analysis.Pass, file *ast.File, def *ast.Ident, obj types.Object) bool {
+	blankUses := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+		}
+		for _, rhs := range as.Rhs {
+			if id, ok := rhs.(*ast.Ident); ok {
+				blankUses[id] = true
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || blankUses[id] {
+			return true
+		}
+		if pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/lostcancel"
+)
+
+func TestLostcancel(t *testing.T) {
+	antest.Run(t, "testdata/src/a", lostcancel.Analyzer)
+}

@@ -1,0 +1,48 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func discarded(ctx context.Context) context.Context {
+	c, _ := context.WithTimeout(ctx, time.Second) // want `cancel function returned by context\.WithTimeout is discarded`
+	return c
+}
+
+func blanked(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx) // want `cancel function returned by context\.WithCancel is never used`
+	_ = cancel
+	return c
+}
+
+func deferred(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}
+
+func calledOnPath(ctx context.Context, fast bool) context.Context {
+	c, cancel := context.WithCancel(ctx)
+	if fast {
+		cancel()
+	}
+	go func() {
+		<-c.Done()
+		cancel()
+	}()
+	return c
+}
+
+func passedAlong(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second))
+	return c, cancel
+}
+
+// A two-value call that is not a context constructor is ignored.
+func unrelated(m map[string]int) int {
+	v, ok := m["k"]
+	_ = ok
+	return v
+}

@@ -1,0 +1,268 @@
+// Package statslock enforces the single-lock commit discipline on
+// stats structs. A struct annotated
+//
+//	//hos:statslock mu
+//
+// may have its non-mutex fields written only while mu is held. The
+// snapshot contract (no torn reads: every counter in a /stats
+// response comes from one consistent commit) depends on every write
+// path taking the same mutex. Exemptions encode the repo's
+// conventions: methods whose name ends in "Locked" are documented as
+// caller-holds-lock; values freshly constructed in the same scope are
+// not yet shared and may be initialized bare.
+package statslock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const doc = "statslock: annotated stats structs are written only under their mutex"
+
+// Analyzer is the statslock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statslock",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	guarded := guardedTypes(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, sc := range analysis.Scopes(file) {
+			if sc.Lit == nil && sc.Decl != nil && strings.HasSuffix(sc.Decl.Name.Name, "Locked") {
+				// Convention: xLocked runs with the lock already held
+				// by its caller.
+				continue
+			}
+			checkScope(pass, sc, guarded)
+		}
+	}
+}
+
+// guardedTypes maps each //hos:statslock-annotated named type to its
+// mutex field name (default "mu").
+func guardedTypes(pass *analysis.Pass) map[*types.TypeName]string {
+	out := make(map[*types.TypeName]string)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				arg, found := analysis.HasDirective(ts.Doc, "statslock")
+				if !found {
+					arg, found = analysis.HasDirective(gd.Doc, "statslock")
+				}
+				if !found {
+					continue
+				}
+				if arg == "" {
+					arg = "mu"
+				}
+				if obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[obj] = arg
+				}
+			}
+		}
+	}
+	return out
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evWrite
+)
+
+type event struct {
+	kind  int
+	key   string // receiver expression owning the mutex / the fields
+	field string // written field, for diagnostics
+	pos   token.Pos
+}
+
+func checkScope(pass *analysis.Pass, sc analysis.FuncScope, guarded map[*types.TypeName]string) {
+	deferred := make(map[*ast.CallExpr]bool)
+	fresh := make(map[types.Object]bool)
+	var evs []event
+
+	analysis.InspectShallow(sc.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				markFresh(pass, n, guarded, fresh)
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if ev, ok := writeEvent(pass, lhs, guarded); ok {
+					evs = append(evs, ev)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ev, ok := writeEvent(pass, n.X, guarded); ok {
+				evs = append(evs, ev)
+			}
+		case *ast.CallExpr:
+			if kind, key, ok := lockEvent(pass, n, guarded); ok {
+				if kind == evUnlock && deferred[n] {
+					// A deferred Unlock releases at return; it never
+					// ends the critical section mid-body.
+					return true
+				}
+				evs = append(evs, event{kind: kind, key: key, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	held := make(map[string]bool)
+	for _, ev := range evs {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = true
+		case evUnlock:
+			held[ev.key] = false
+		case evWrite:
+			if held[ev.key] {
+				continue
+			}
+			if isFresh(pass, ev, fresh) {
+				continue
+			}
+			pass.Reportf(ev.pos,
+				"field %s of stats struct %q written without holding its mutex in %s",
+				ev.field, ev.key, sc.Name())
+		}
+	}
+}
+
+// writeEvent classifies lhs as a write to a guarded struct's field,
+// unwrapping index/star/paren down to the base selector.
+func writeEvent(pass *analysis.Pass, lhs ast.Expr, guarded map[*types.TypeName]string) (event, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			goto unwrapped
+		}
+	}
+unwrapped:
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return event{}, false
+	}
+	named := analysis.NamedType(pass.Info.TypeOf(sel.X))
+	if named == nil {
+		return event{}, false
+	}
+	mu, ok := guarded[named.Obj()]
+	if !ok || sel.Sel.Name == mu {
+		return event{}, false
+	}
+	return event{
+		kind:  evWrite,
+		key:   types.ExprString(sel.X),
+		field: sel.Sel.Name,
+		pos:   lhs.Pos(),
+	}, true
+}
+
+// lockEvent matches x.mu.Lock() / x.mu.Unlock() where x is a guarded
+// struct and mu its declared mutex field. RLock does not count: the
+// write side needs the exclusive lock.
+func lockEvent(pass *analysis.Pass, call *ast.CallExpr, guarded map[*types.TypeName]string) (int, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = evLock
+	case "Unlock":
+		kind = evUnlock
+	default:
+		return 0, "", false
+	}
+	msel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	named := analysis.NamedType(pass.Info.TypeOf(msel.X))
+	if named == nil {
+		return 0, "", false
+	}
+	mu, ok := guarded[named.Obj()]
+	if !ok || msel.Sel.Name != mu {
+		return 0, "", false
+	}
+	return kind, types.ExprString(msel.X), true
+}
+
+// markFresh records variables defined in this scope from a composite
+// literal (or its address) of a guarded type: until they are shared,
+// bare initialization writes are fine.
+func markFresh(pass *analysis.Pass, n *ast.AssignStmt, guarded map[*types.TypeName]string, fresh map[types.Object]bool) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		rhs := n.Rhs[i]
+		if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			rhs = u.X
+		}
+		if _, ok := rhs.(*ast.CompositeLit); !ok {
+			continue
+		}
+		named := analysis.NamedType(pass.Info.TypeOf(n.Rhs[i]))
+		if named == nil {
+			continue
+		}
+		if _, ok := guarded[named.Obj()]; !ok {
+			continue
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+}
+
+// isFresh reports whether the write's base expression is a locally
+// constructed, not-yet-shared value.
+func isFresh(pass *analysis.Pass, ev event, fresh map[types.Object]bool) bool {
+	if len(fresh) == 0 {
+		return false
+	}
+	for obj := range fresh {
+		if obj.Name() == ev.key {
+			return true
+		}
+	}
+	return false
+}

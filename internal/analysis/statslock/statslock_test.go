@@ -1,0 +1,12 @@
+package statslock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/statslock"
+)
+
+func TestStatslock(t *testing.T) {
+	antest.Run(t, "testdata/src/a", statslock.Analyzer)
+}

@@ -1,0 +1,61 @@
+package a
+
+import "sync"
+
+//hos:statslock mu
+type serverStats struct {
+	mu   sync.Mutex
+	hits int64
+	ring []int
+	next int
+}
+
+// unguarded has no directive; the analyzer leaves it alone.
+type unguarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (u *unguarded) bump() { u.n++ }
+
+func (s *serverStats) recordHit() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func (s *serverStats) recordDeferred(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring[s.next] = v
+	s.next++
+}
+
+func (s *serverStats) bareWrite() {
+	s.hits++ // want `without holding its mutex`
+}
+
+func (s *serverStats) afterUnlock() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	s.next++ // want `without holding its mutex`
+}
+
+// The Locked suffix is the caller-holds-lock convention.
+func (s *serverStats) observeLocked(v int) {
+	s.ring[s.next] = v
+	s.next++
+}
+
+// A freshly constructed, unshared value may be initialized bare.
+func newStats() *serverStats {
+	s := &serverStats{ring: make([]int, 8)}
+	s.next = 0
+	return s
+}
+
+// Reads never need the write lock from this analyzer's point of view.
+func (s *serverStats) peek() int64 {
+	return s.hits
+}

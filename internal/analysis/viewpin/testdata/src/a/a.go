@@ -1,0 +1,104 @@
+package a
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+type view struct{ n int }
+
+type dataset struct {
+	cur atomic.Pointer[view]
+}
+
+// view is the accessor form; its single internal Load is fine.
+func (d *dataset) view() *view { return d.cur.Load() }
+
+func doubleLoad(d *dataset) int {
+	a := d.cur.Load()
+	b := d.cur.Load() // want `loaded 2 times`
+	return a.n + b.n
+}
+
+func doubleAccessor(d *dataset) int {
+	return d.view().n + d.view().n // want `loaded 2 times`
+}
+
+func mixedForms(d *dataset) int {
+	v := d.view()
+	w := d.cur.Load() // want `loaded 2 times`
+	return v.n + w.n
+}
+
+// A single load passed by value is the blessed pattern.
+func singlePinned(d *dataset) int {
+	v := d.view()
+	return use(v) + use(v)
+}
+
+func use(v *view) int { return v.n }
+
+// Distinct datasets may each pin their own view.
+func twoDatasets(a, b *dataset) int {
+	return a.view().n + b.view().n
+}
+
+// A function literal is its own execution context (a job body); its
+// load is independent of the enclosing function's.
+func closureScope(d *dataset) func() int {
+	v := d.view()
+	_ = v
+	return func() int { return d.view().n }
+}
+
+// A single call site inside a loop is one pin per iteration, not a
+// torn read within one path.
+func loopSingle(d *dataset, rounds int) int {
+	t := 0
+	for i := 0; i < rounds; i++ {
+		t += d.view().n
+	}
+	return t
+}
+
+// A bare atomic.Pointer[view] variable (no owning struct) still pins.
+var global atomic.Pointer[view]
+
+func globalDouble() int {
+	return global.Load().n + global.Load().n // want `loaded 2 times`
+}
+
+// --- shapes that must NOT count as view loads ---
+
+type notView struct{ m int }
+
+// other returns a pointer, but not to view.
+func (d *dataset) other() *notView { return &notView{} }
+
+// clone returns a non-pointer.
+func (d *dataset) clone() dataset { return dataset{} }
+
+// fake has a method literally named Load on a non-atomic type.
+type fake struct{}
+
+func (fake) Load() int { return 0 }
+
+// hooks carries a zero-arg func-typed field: a FieldVal call, not a
+// method.
+type hooks struct{ fn func() *view }
+
+func freshView() *view { return &view{} }
+
+func notLoads(d *dataset, f fake, h hooks) int {
+	a := d.other()
+	b := d.other()
+	c := d.clone()
+	e := d.clone()
+	t := f.Load() + f.Load()
+	t += runtime.NumCPU() + runtime.NumCPU()
+	u := h.fn()
+	w := h.fn()
+	x := freshView()
+	y := freshView()
+	return a.m + b.m + c.cur.Load().n + e.cur.Load().n + t + u.n + w.n + x.n + y.n
+}

@@ -1,0 +1,88 @@
+// Package viewpin checks that each request path pins exactly one
+// epoch view. A dataset's serving state is published through an
+// atomic.Pointer[view]; a handler that loads it twice can observe two
+// different epochs in one request — the torn read the epoch/COW design
+// exists to prevent. The rule: within one function scope, the pointer
+// for a given dataset may be loaded at most once, whether through
+// .Load() on the atomic field or through a *view-returning accessor
+// method. Load once, bind to a local, pass the *view by value.
+package viewpin
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const doc = "viewpin: at most one epoch view load per request path"
+
+// Analyzer is the viewpin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewpin",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, sc := range analysis.Scopes(file) {
+			counts := make(map[string]int)
+			analysis.InspectShallow(sc.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 0 {
+					return true
+				}
+				key, isLoad := loadKey(pass, call)
+				if !isLoad {
+					return true
+				}
+				counts[key]++
+				if counts[key] > 1 {
+					pass.Reportf(call.Pos(),
+						"epoch view for %q loaded %d times in %s; the epoch may change between loads — load once and pass the *view",
+						key, counts[key], sc.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// loadKey classifies call as an epoch-view load and returns a key
+// identifying which dataset's pointer it reads. Two forms count:
+// x.cur.Load() on an atomic.Pointer[view] field, and a zero-argument
+// accessor method returning *view (the d.view() idiom). Both forms on
+// the same receiver share a key, so mixing them is still a double
+// load.
+func loadKey(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name == "Load" && analysis.IsAtomicPointerTo(pass.Info.TypeOf(sel.X), "view") {
+		// d.cur.Load(): key by the owner of the pointer field.
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			return types.ExprString(inner.X), true
+		}
+		return types.ExprString(sel.X), true
+	}
+	// Accessor form: a method call with no arguments whose result is
+	// *view of the package under analysis.
+	msel, ok := pass.Info.Selections[sel]
+	if !ok || msel.Kind() != types.MethodVal {
+		return "", false
+	}
+	rt := pass.Info.TypeOf(call)
+	if rt == nil {
+		return "", false
+	}
+	if _, isPtr := types.Unalias(rt).(*types.Pointer); !isPtr {
+		return "", false
+	}
+	named := analysis.NamedType(rt)
+	if named == nil || named.Obj().Name() != "view" || named.Obj().Pkg() != pass.Pkg {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}

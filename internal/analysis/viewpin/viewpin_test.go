@@ -1,0 +1,12 @@
+package viewpin_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/viewpin"
+)
+
+func TestViewpin(t *testing.T) {
+	antest.Run(t, "testdata/src/a", viewpin.Analyzer)
+}

@@ -304,6 +304,8 @@ func (a *resultArena) cloneFloats(src []float64) []float64 {
 // runs Preprocess lazily (from the calling goroutine, before workers
 // fan out); once the Miner is preprocessed, any number of QueryBatch,
 // QueryWith and scan calls may run concurrently.
+//
+//hos:hotpath
 func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts BatchOptions) (*BatchResult, error) {
 	if err := m.Preprocess(); err != nil {
 		return nil, err
@@ -344,23 +346,8 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 			}
 		}
 	} else {
-		run := &res.run
-		run.arm(m, ctx, queries, shared, pool, res, workers)
-		run.wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go run.work()
-		}
-		run.wg.Wait()
-		var failed error
-		for _, err := range run.errs {
-			if err != nil {
-				failed = err
-				break
-			}
-		}
-		run.disarm()
-		if failed != nil {
-			return nil, failed
+		if err := m.queryBatchParallel(ctx, queries, shared, pool, res, workers); err != nil {
+			return nil, err
 		}
 	}
 	for _, item := range res.Items {
@@ -378,6 +365,31 @@ func (m *Miner) QueryBatch(ctx context.Context, queries []BatchQuery, opts Batch
 		Entries:   st.Entries,
 	}
 	return res, nil
+}
+
+// queryBatchParallel is the fan-out arm of QueryBatch: arm the
+// recycled run state, launch the workers, wait, and surface the first
+// worker error. It lives outside the //hos:hotpath annotation on
+// purpose — the goroutine launches are the deliberate cost of the
+// parallel mode (their coordination state is still recycled through
+// the BatchResult, so the arm stays 0 allocs/op steady-state).
+func (m *Miner) queryBatchParallel(ctx context.Context, queries []BatchQuery, shared *od.SharedCache, pool *EvaluatorPool, res *BatchResult, workers int) error {
+	run := &res.run
+	run.arm(m, ctx, queries, shared, pool, res, workers)
+	run.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go run.work()
+	}
+	run.wg.Wait()
+	var failed error
+	for _, err := range run.errs {
+		if err != nil {
+			failed = err
+			break
+		}
+	}
+	run.disarm()
+	return failed
 }
 
 // resultFor returns the result to fill: the caller's recycled one, or

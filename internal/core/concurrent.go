@@ -58,6 +58,8 @@ func (m *Miner) NewWorkerEvaluator() (*od.Evaluator, error) {
 // preprocessing; it fails with ErrNotPreprocessed instead. Any number
 // of QueryWith calls may run concurrently with each other and with
 // ScanAllParallel.
+//
+//hos:hotpath
 func (m *Miner) QueryWith(eval *od.Evaluator, point []float64, exclude int) (*QueryResult, error) {
 	if !m.preprocessed {
 		return nil, ErrNotPreprocessed

@@ -24,6 +24,8 @@ func NewBoundedHeap(k int) *BoundedHeap {
 // Reset returns the heap to the empty, undrained state with capacity
 // k, reusing the existing backing array. Results previously obtained
 // from Sorted are invalidated by the next Push.
+//
+//hos:hotpath
 func (h *BoundedHeap) Reset(k int) {
 	h.k = k
 	h.items = h.items[:0]
@@ -43,6 +45,8 @@ func worse(a, b Neighbor) bool {
 // or the candidate beats the current worst. Push panics after Sorted:
 // a drained heap silently dropping candidates was a real bug source,
 // so reuse requires an explicit Reset.
+//
+//hos:hotpath
 func (h *BoundedHeap) Push(index int, dist float64) {
 	if h.drained {
 		panic("knn: BoundedHeap.Push after Sorted drained the heap; call Reset(k) before reuse")
@@ -80,6 +84,8 @@ func (h *BoundedHeap) WorstDist() (float64, bool) {
 // distance, ties by ascending index. The returned slice aliases the
 // heap's backing array: it stays valid until the next Reset/Push, and
 // the heap must be Reset before it accepts candidates again.
+//
+//hos:hotpath
 func (h *BoundedHeap) Sorted() []Neighbor {
 	h.drained = true
 	items := h.items

@@ -103,6 +103,8 @@ type Scratch struct {
 // Begin prepares the scratch for one query: decodes s into Dims
 // (reusing its backing array) and resets the heap to capacity k. It
 // returns the decoded dimension indices.
+//
+//hos:hotpath
 func (sc *Scratch) Begin(s subspace.Mask, k int) []int {
 	sc.Dims = s.AppendDims(sc.Dims[:0])
 	sc.Heap.Reset(k)
@@ -132,6 +134,8 @@ func NewLinear(ds *vector.Dataset, metric vector.Metric) (*LinearSearcher, error
 }
 
 // KNN implements Searcher by exhaustive scan with a bounded max-heap.
+//
+//hos:hotpath
 func (l *LinearSearcher) KNN(query []float64, s subspace.Mask, k int, exclude int) []Neighbor {
 	l.stats.Queries.Add(1)
 	if k <= 0 || s.IsEmpty() {

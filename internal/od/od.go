@@ -117,6 +117,8 @@ func (e *Evaluator) SetScratch(v any) { e.scratch = v }
 // s. exclude is the dataset index of the point itself when it is a
 // dataset member (-1 otherwise), so a point never counts as its own
 // neighbour.
+//
+//hos:hotpath
 func (e *Evaluator) OD(p []float64, s subspace.Mask, exclude int) float64 {
 	if s.IsEmpty() {
 		return 0
@@ -237,6 +239,8 @@ func (e *Evaluator) NewQueryForPoint(idx int) *Query {
 }
 
 // OD returns the (possibly cached) outlying degree in subspace s.
+//
+//hos:hotpath
 func (q *Query) OD(s subspace.Mask) float64 {
 	if v, ok := q.cache[s]; ok {
 		q.hits++

@@ -135,6 +135,8 @@ var (
 // themselves are never mutated in place, so a handler may keep using
 // a *dataset it resolved even across a concurrent eviction — the
 // entry's miner and caches outlive their registry slot.
+//
+//hos:statslock mu
 type registry struct {
 	mu      sync.RWMutex
 	entries map[string]*dataset

@@ -17,6 +17,8 @@ import (
 // field-by-field atomic reads allowed all three.) Query latencies go
 // into a bounded ring so percentiles reflect recent traffic without
 // unbounded memory.
+//
+//hos:statslock mu
 type serverStats struct {
 	mu sync.Mutex
 

@@ -116,6 +116,8 @@ func (m Mask) EachDim(fn func(dim int)) {
 // subspace to dst and returns the extended slice. Passing dst[:0]
 // reuses its backing array, so hot paths can decode a mask into a
 // scratch slice without allocating.
+//
+//hos:hotpath
 func (m Mask) AppendDims(dst []int) []int {
 	for v := uint32(m); v != 0; {
 		dst = append(dst, bits.TrailingZeros32(v))

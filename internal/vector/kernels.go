@@ -17,6 +17,8 @@ import "math"
 
 // SqDistL2Dims returns the squared Euclidean distance between a and b
 // restricted to the given dimension indices.
+//
+//hos:hotpath
 func SqDistL2Dims(dims []int, a, b []float64) float64 {
 	var sum float64
 	n := len(dims)
@@ -41,6 +43,8 @@ func SqDistL2Dims(dims []int, a, b []float64) float64 {
 }
 
 // l1DistDims returns the Manhattan distance restricted to dims.
+//
+//hos:hotpath
 func l1DistDims(dims []int, a, b []float64) float64 {
 	var sum float64
 	n := len(dims)
@@ -60,6 +64,8 @@ func l1DistDims(dims []int, a, b []float64) float64 {
 }
 
 // lInfDistDims returns the Chebyshev distance restricted to dims.
+//
+//hos:hotpath
 func lInfDistDims(dims []int, a, b []float64) float64 {
 	var max float64
 	n := len(dims)
@@ -90,6 +96,8 @@ func lInfDistDims(dims []int, a, b []float64) float64 {
 
 // DistDims is the kernel counterpart of Dist: the distance between a
 // and b under metric m, restricted to the given dimension indices.
+//
+//hos:hotpath
 func DistDims(m Metric, dims []int, a, b []float64) float64 {
 	switch m {
 	case L2:

@@ -108,6 +108,8 @@ func minDistDims(m vector.Metric, dims []int, q, lo, hi []float64) float64 {
 }
 
 // KNN implements knn.Searcher.
+//
+//hos:hotpath
 func (s *Searcher) KNN(query []float64, sub subspace.Mask, k int, exclude int) []knn.Neighbor {
 	s.stats.Queries.Add(1)
 	t := s.tree

@@ -35,6 +35,32 @@ func TestParseLine(t *testing.T) {
 	if _, _, _, ok := parseLine("garbage"); ok {
 		t.Fatal("garbage parsed")
 	}
+	if _, _, _, ok := parseLine("f.go:1.1,2.2 4"); ok {
+		t.Fatal("line with missing hit count parsed")
+	}
+	if _, _, _, ok := parseLine("f.go:1.1,2.2 four one"); ok {
+		t.Fatal("non-numeric fields parsed")
+	}
+}
+
+func TestPercentEmpty(t *testing.T) {
+	// A package with no profile rows reports 0%, not NaN.
+	if got := (pkgCov{}).percent(); got != 0 {
+		t.Fatalf("empty pkgCov percent = %v, want 0", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeProfile(t)
+	if err := run([]string{"-profile", p}, os.Stdout); err == nil || !strings.Contains(err.Error(), "no package prefixes") {
+		t.Fatalf("no positional packages: %v", err)
+	}
+	if err := run([]string{"-profile", filepath.Join(t.TempDir(), "absent.out"), "repro/internal/core"}, os.Stdout); err == nil {
+		t.Fatal("missing profile passed")
+	}
+	if err := run([]string{"-min", "not-a-number", "repro/internal/core"}, os.Stdout); err == nil {
+		t.Fatal("malformed -min passed flag parsing")
+	}
 }
 
 func TestGatePassesAndFails(t *testing.T) {

@@ -1,0 +1,16 @@
+// Package cleanmod violates nothing; hosvet must exit 0 on it.
+package cleanmod
+
+import "sync/atomic"
+
+type view struct{ n int }
+
+type dataset struct {
+	cur atomic.Pointer[view]
+}
+
+// Pinned loads the epoch view exactly once.
+func Pinned(d *dataset) int {
+	v := d.cur.Load()
+	return v.n * 2
+}

@@ -1,0 +1,24 @@
+// Package vetmod is the hosvet driver's test fixture: one deliberate
+// viewpin violation (the double Load in torn) plus clean code, so
+// driver tests can assert both the flagged and quiet behavior.
+package vetmod
+
+import "sync/atomic"
+
+type view struct{ n int }
+
+type dataset struct {
+	cur atomic.Pointer[view]
+}
+
+func torn(d *dataset) int {
+	return d.cur.Load().n + d.cur.Load().n
+}
+
+// Pinned is the clean counterpart.
+func Pinned(d *dataset) int {
+	v := d.cur.Load()
+	return v.n + v.n
+}
+
+var _ = torn
